@@ -1,0 +1,112 @@
+"""Ablations of the paper's Section 5 extensions.
+
+* Cost-aware optimal search (NCV quantum cost): shows functions where the
+  minimum-cost circuit differs from the minimum-gate-count circuit.
+* Depth-optimal search over parallel layers: shows depth savings over
+  gate-count-optimal circuits.
+* Symmetry ablation: canonicalization with and without the inversion
+  symmetry, measuring each symmetry's contribution to the ×48 reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packed_np import canonical_conjugation_only_np, canonical_np
+from repro.synth.cost import CostOptimalSynthesizer, build_cost_database
+from repro.synth.depth import DepthOptimalSynthesizer, all_layers, build_depth_database
+
+from conftest import print_header
+
+
+def test_cost_optimal_ablation(bench_engine, benchmark):
+    from repro.benchmarks_data import get_benchmark
+
+    print_header("Ablation: NCV-cost-optimal vs gate-count-optimal")
+    cost_db = build_cost_database(4, 12)
+    synth = CostOptimalSynthesizer(4, max_cost=12)
+    synth._db = cost_db
+
+    rd32 = get_benchmark("rd32").permutation()
+    gate_optimal = bench_engine.minimal_circuit(rd32.word)
+    cost_optimal = synth.synthesize(rd32)
+    print(f"{'':14}{'gates':>6}{'NCV cost':>9}")
+    print(
+        f"gate-optimal  {gate_optimal.gate_count:>6}{gate_optimal.cost():>9}"
+    )
+    print(
+        f"cost-optimal  {cost_optimal.gate_count:>6}{cost_optimal.cost():>9}"
+    )
+    assert gate_optimal.gate_count < cost_optimal.gate_count
+    assert cost_optimal.cost() < gate_optimal.cost()
+    print("=> the two objectives genuinely diverge (rd32: 4g/12c vs 6g/9c)")
+
+    counts = cost_db.counts_by_cost()
+    print(f"classes by optimal NCV cost: {dict(list(counts.items())[:8])} ...")
+    benchmark.extra_info["rd32"] = {
+        "gate_optimal": (gate_optimal.gate_count, gate_optimal.cost()),
+        "cost_optimal": (cost_optimal.gate_count, cost_optimal.cost()),
+    }
+
+    benchmark.pedantic(build_cost_database, args=(4, 8), rounds=1)
+
+
+def test_depth_optimal_ablation(bench_engine, bench_db, benchmark):
+    print_header("Ablation: depth-optimal vs gate-count-optimal")
+    synth = DepthOptimalSynthesizer(4, max_depth=4)
+    synth.database  # build
+
+    layers = all_layers(4)
+    print(f"parallel layers on 4 wires: {len(layers)} (32 single-gate)")
+    assert len(layers) == 103
+
+    saved_total = 0
+    examined = 0
+    from repro.core.permutation import Permutation
+    from repro.errors import SynthesisError
+
+    reps = bench_db.reps_by_size[4][:: len(bench_db.reps_by_size[4]) // 12][:12]
+    for word in reps.tolist():
+        perm = Permutation(int(word), 4)
+        gate_optimal = bench_engine.minimal_circuit(perm.word)
+        try:
+            depth = synth.depth(perm)
+        except SynthesisError:
+            continue
+        examined += 1
+        saved_total += gate_optimal.depth() - depth
+        assert depth <= gate_optimal.depth()
+    print(
+        f"over {examined} size-4 functions, depth-optimal synthesis saved "
+        f"{saved_total} layers total vs gate-count-optimal circuits"
+    )
+    assert examined > 0
+    benchmark.extra_info["layers_saved"] = saved_total
+
+    benchmark.pedantic(build_depth_database, args=(4, 3), rounds=1)
+
+
+def test_symmetry_ablation(bench_db, benchmark):
+    """How much does each symmetry contribute?  Conjugation alone gives
+    ~24x; adding inversion approaches the full ~48x (paper §3.2)."""
+    print_header("Ablation: conjugation-only vs conjugation+inversion")
+    words = bench_db.reps_by_size[4]
+    # Expand back to all functions of size 4 and re-reduce both ways.
+    from repro.core.packed_np import expand_classes_np
+
+    functions = expand_classes_np(words, 4)
+    conj_only = np.unique(canonical_conjugation_only_np(functions, 4))
+    both = np.unique(canonical_np(functions, 4))
+    factor_conj = functions.shape[0] / conj_only.shape[0]
+    factor_both = functions.shape[0] / both.shape[0]
+    print(f"functions of size 4      : {functions.shape[0]:,}")
+    print(f"conjugation-only classes : {conj_only.shape[0]:,} (x{factor_conj:.1f})")
+    print(f"with inversion           : {both.shape[0]:,} (x{factor_both:.1f})")
+    assert 20 <= factor_conj <= 24
+    assert 40 <= factor_both <= 48
+    assert both.shape[0] == words.shape[0]
+    benchmark.extra_info["conjugation_factor"] = round(factor_conj, 2)
+    benchmark.extra_info["full_factor"] = round(factor_both, 2)
+
+    benchmark(canonical_np, functions[:100000], 4)

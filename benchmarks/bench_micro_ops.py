@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the paper's core operations (Section 3.3).
+
+The paper counts machine instructions: composition 94, inversion 59, one
+conjugation 14, a full canonical representative ~750.  Here we measure
+the Python/numpy equivalents -- both per-call scalar cost and per-element
+vectorized cost (the ratio is the reason the heavy searches are
+vectorized).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import equivalence, packed
+from repro.core.packed_np import canonical_np, compose_np, inverse_np
+from repro.hashing.wang import hash64shift, hash64shift_np
+from repro.rng.sampling import PermutationSampler
+
+N_VECTOR = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def words():
+    sampler = PermutationSampler(4, seed=1)
+    return sampler.sample_words(N_VECTOR)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    sampler = PermutationSampler(4, seed=2)
+    return sampler.sample_word(), sampler.sample_word()
+
+
+def test_compose_scalar(benchmark, pair):
+    p, q = pair
+    result = benchmark(packed.compose, p, q, 4)
+    assert packed.is_valid(result, 4)
+
+
+def test_compose_paper_port(benchmark, pair):
+    p, q = pair
+    result = benchmark(packed.compose4_paper, p, q)
+    assert result == packed.compose(p, q, 4)
+
+
+def test_inverse_scalar(benchmark, pair):
+    p, _ = pair
+    result = benchmark(packed.inverse, p, 4)
+    assert packed.compose(p, result, 4) == packed.identity(4)
+
+
+def test_conjugate_scalar(benchmark, pair):
+    p, _ = pair
+    benchmark(packed.conjugate_adjacent, p, 0, 4)
+
+
+def test_canonical_scalar(benchmark, pair):
+    p, _ = pair
+    result = benchmark(equivalence.canonical, p, 4)
+    assert result <= p
+
+
+def test_hash_scalar(benchmark, pair):
+    p, _ = pair
+    benchmark(hash64shift, p)
+
+
+def test_compose_vectorized(benchmark, words, pair):
+    _, q = pair
+    result = benchmark(compose_np, words, np.uint64(q), 4)
+    benchmark.extra_info["per_element_ns"] = (
+        benchmark.stats["mean"] / N_VECTOR * 1e9
+    )
+    assert result.shape == words.shape
+
+
+def test_inverse_vectorized(benchmark, words):
+    result = benchmark(inverse_np, words, 4)
+    benchmark.extra_info["per_element_ns"] = (
+        benchmark.stats["mean"] / N_VECTOR * 1e9
+    )
+    assert result.shape == words.shape
+
+
+def test_canonical_vectorized(benchmark, words):
+    result = benchmark(canonical_np, words, 4)
+    benchmark.extra_info["per_element_ns"] = (
+        benchmark.stats["mean"] / N_VECTOR * 1e9
+    )
+    assert (result <= words).all()
+
+
+def test_hash_vectorized(benchmark, words):
+    result = benchmark(hash64shift_np, words)
+    benchmark.extra_info["per_element_ns"] = (
+        benchmark.stats["mean"] / N_VECTOR * 1e9
+    )
+    assert result.shape == words.shape
+
+
+def test_table_lookup_batch(benchmark, words):
+    from repro.hashing.table import LinearProbingTable
+
+    table = LinearProbingTable(capacity_bits=18)
+    table.insert_batch(words[: N_VECTOR // 2], 1)
+    result = benchmark(table.lookup_batch, words)
+    hits = (result != table.missing_value).sum()
+    assert hits >= N_VECTOR // 2 - 1

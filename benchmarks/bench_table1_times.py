@@ -1,0 +1,93 @@
+"""Table 1: average time to compute minimal circuits, by circuit size.
+
+The paper reports per-size synthesis times for k = 8 and k = 9 (from
+5e-7 s at size 0 to seconds at size 14): negligible below k, growing
+roughly exponentially above it as the lists A_1, A_2, ... are scanned.
+We regenerate the same series at our k.  Exact-size query functions are
+obtained from prefixes of a minimal circuit of a random permutation --
+every prefix of a minimal circuit is itself minimal for the function it
+computes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+
+from conftest import print_header
+
+
+@pytest.fixture(scope="module")
+def size_specimens(bench_engine):
+    """One function of each exact size 0..L, from minimal-circuit prefixes."""
+    from repro.rng.mt19937 import MersenneTwister
+    from repro.rng.sampling import random_circuit
+
+    rng = MersenneTwister(5489)
+    specimens: dict[int, int] = {}
+    for _ in range(12):
+        # A random L-gate circuit has size <= L (almost always close to
+        # it), so the search always succeeds; prefixes of its minimal
+        # circuit supply one function of every exact size below.
+        seed_word = random_circuit(4, bench_engine.max_size, rng).to_word()
+        outcome = bench_engine.search(seed_word)
+        circuit = outcome.circuit
+        for prefix_len in range(circuit.gate_count + 1):
+            prefix = Circuit.from_gates(circuit.gates[:prefix_len], 4)
+            specimens.setdefault(prefix_len, prefix.to_word())
+        if len(specimens) >= bench_engine.max_size + 1:
+            break
+    return specimens
+
+
+def test_table1_time_by_size(bench_engine, size_specimens, benchmark):
+    print_header(
+        f"Table 1: average minimal-circuit time by size (k={bench_engine.db.k})"
+    )
+    rows = []
+    print(f"{'Size':>4}  {'avg seconds':>12}  {'paper (k=9)':>12}")
+    paper_k9 = {
+        0: 5.15e-7, 1: 8.8e-7, 2: 1.27e-6, 3: 1.68e-6, 4: 2.14e-6,
+        5: 2.52e-6, 6: 3.96e-6, 7: 4.85e-6, 8: 4.45e-6, 9: 5.65e-6,
+        10: 1.79e-5, 11: 2.38e-4, 12: 3.74e-3, 13: 3.18e-2, 14: 3.26e-1,
+    }
+    for size in sorted(size_specimens):
+        word = size_specimens[size]
+        repeats = 3 if size > bench_engine.db.k else 25
+        start = time.perf_counter()
+        for _ in range(repeats):
+            result = bench_engine.size_of(word)
+        elapsed = (time.perf_counter() - start) / repeats
+        assert result == size
+        reference = paper_k9.get(size)
+        ref_text = f"{reference:.2e}" if reference else "-"
+        print(f"{size:>4}  {elapsed:>12.6f}  {ref_text:>12}")
+        rows.append((size, elapsed))
+    benchmark.extra_info["rows"] = rows
+
+    # Shape assertions: flat below k, growing above it.
+    below_k = [t for s, t in rows if s <= bench_engine.db.k]
+    above_k = [t for s, t in rows if s > bench_engine.db.k + 1]
+    if above_k:
+        assert max(above_k) > 5 * max(below_k)
+        # Monotone-ish growth above k: last point is the slowest region.
+        assert above_k[-1] >= above_k[0]
+
+    # Give pytest-benchmark a representative timing target: the fast path.
+    fast_word = size_specimens[min(bench_engine.db.k, max(size_specimens))]
+    benchmark(bench_engine.size_of, fast_word)
+
+
+def test_fast_path_microseconds(bench_engine, benchmark):
+    """The paper's headline: below-k queries are microsecond-scale even
+    in Python (hash lookup + canonicalization)."""
+    word = Permutation.from_spec(
+        "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]"
+    ).word
+    size = benchmark(bench_engine.size_of, word)
+    assert size == 4
+    assert benchmark.stats["mean"] < 1e-3  # sub-millisecond in Python

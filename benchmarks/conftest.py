@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_K``      -- BFS database depth (default 6; the paper used 9).
+* ``REPRO_BENCH_MAX_L``  -- search reach L = k + m (default 11; set 12 to
+  cover every Table 6 benchmark except oc7, at the cost of materializing
+  the 70.7M-entry list A_6, ~0.6 GB and ~a minute of query time).
+* ``REPRO_SAMPLES``      -- random permutations for the Table 3 experiment
+  (default 60; the paper used 10,000,000 on a 16-core server).
+
+Databases are cached on disk under ``.bench-cache`` at the repo root, so
+repeated benchmark runs skip the BFS build.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.synth.search import MeetInTheMiddleSearch
+from repro.synth.synthesizer import OptimalSynthesizer
+
+BENCH_K = int(os.environ.get("REPRO_BENCH_K", "6"))
+BENCH_MAX_L = int(os.environ.get("REPRO_BENCH_MAX_L", "11"))
+BENCH_SAMPLES = int(os.environ.get("REPRO_SAMPLES", "60"))
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".bench-cache"
+
+
+@pytest.fixture(scope="session")
+def bench_synthesizer():
+    """The big synthesizer shared by all table benchmarks."""
+    synth = OptimalSynthesizer(
+        n_wires=4,
+        k=BENCH_K,
+        max_list_size=min(BENCH_MAX_L - BENCH_K, BENCH_K),
+        cache_dir=CACHE_DIR,
+        verbose=True,
+    )
+    synth.prepare()
+    return synth
+
+
+@pytest.fixture(scope="session")
+def bench_engine(bench_synthesizer):
+    return bench_synthesizer.search_engine
+
+
+@pytest.fixture(scope="session")
+def bench_db(bench_synthesizer):
+    return bench_synthesizer.database
+
+
+@pytest.fixture(scope="session")
+def engine3_full():
+    """Exhaustive n = 3 engine (covers all 40,320 functions)."""
+    from repro.synth.bfs import build_database
+
+    db = build_database(3, 8)
+    lists = MeetInTheMiddleSearch.build_lists(db, 2)
+    return MeetInTheMiddleSearch(db, lists)
+
+
+def print_header(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")

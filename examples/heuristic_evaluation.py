@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Testing heuristic synthesizers against the optimal baseline.
+
+The paper (Section 1): optimal 4-bit synthesis gives a test "that allows
+more room for improvement" than the saturated 3-bit comparisons.  This
+example runs the MMD transformation-based heuristic (both variants)
+against provably optimal sizes on a random sample and prints the
+overhead profile -- exactly the evaluation the paper proposes.
+
+Run:  python examples/heuristic_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro import OptimalSynthesizer, Permutation
+from repro.rng.mt19937 import MersenneTwister
+from repro.rng.sampling import random_circuit
+from repro.synth.heuristic import mmd_synthesize
+
+
+def main() -> None:
+    synth = OptimalSynthesizer(k=5, max_list_size=4)
+    synth.prepare()
+
+    # Sample functions of size <= 9 by drawing random 9-gate circuits
+    # (uniform sampling over all of 16! would mostly produce sizes 11-13,
+    # beyond this quick example's L = 9 reach).
+    rng = MersenneTwister(5489)
+    rows = []
+    for _ in range(12):
+        perm = Permutation(random_circuit(4, 9, rng).to_word(), 4)
+        optimal = synth.size(perm)
+        uni = mmd_synthesize(perm, bidirectional=False).gate_count
+        bi = mmd_synthesize(perm, bidirectional=True).gate_count
+        if optimal > 0:
+            rows.append((optimal, uni, bi))
+
+    print(f"{'optimal':>7}  {'MMD uni':>7}  {'MMD bi':>7}  "
+          f"{'overhead(bi)':>12}")
+    for optimal, uni, bi in sorted(rows):
+        print(f"{optimal:>7}  {uni:>7}  {bi:>7}  {bi / optimal:>11.2f}x")
+
+    total_opt = sum(r[0] for r in rows)
+    total_bi = sum(r[2] for r in rows)
+    print(f"\naverage overhead of the bidirectional heuristic: "
+          f"{total_bi / total_opt:.2f}x")
+    print("(3-bit benchmarks give heuristics ~1.0x -- no headroom; the")
+    print(" 4-bit optimal baseline exposes the real gap, as the paper argues)")
+
+    print("\nnote: sampled functions here have size <= 9; random 4-bit")
+    print("functions average 11.94 gates, so the full-reach gap is larger.")
+
+
+if __name__ == "__main__":
+    main()

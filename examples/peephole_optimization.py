@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Peephole optimization of wider circuits with the optimal 4-bit core.
+
+The paper: "The algorithm could easily be integrated as part of peephole
+optimization, such as the one presented in [13]."  This example generates
+random 6-wire circuits, slides <= 4-wire windows over them, resynthesizes
+each window optimally, and reports the compression achieved -- the exact
+workflow a reversible-logic toolchain would embed this library in.
+
+Run:  python examples/peephole_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro import OptimalSynthesizer
+from repro.apps.peephole import PeepholeOptimizer
+from repro.rng.mt19937 import MersenneTwister
+from repro.rng.sampling import random_circuit
+
+
+def main() -> None:
+    synth = OptimalSynthesizer(k=5, max_list_size=3)
+    synth.prepare()
+    optimizer = PeepholeOptimizer(synth)
+
+    print("random 6-wire circuits, windows resynthesized optimally:\n")
+    print(f"{'seed':>4}  {'before':>6}  {'after':>5}  {'saved':>5}  "
+          f"{'windows':>7}  {'replaced':>8}")
+    total_before = total_after = 0
+    for seed in range(1, 9):
+        circuit = random_circuit(6, 40, MersenneTwister(seed))
+        report = optimizer.optimize(circuit)
+        # The function is preserved bit-exactly -- verified internally,
+        # and double-checked here.
+        assert report.optimized.truth_table() == circuit.truth_table()
+        total_before += report.original.gate_count
+        total_after += report.optimized.gate_count
+        print(f"{seed:>4}  {report.original.gate_count:>6}  "
+              f"{report.optimized.gate_count:>5}  {report.gates_saved:>5}  "
+              f"{report.windows_examined:>7}  {report.windows_replaced:>8}")
+
+    saved = total_before - total_after
+    print(f"\ntotal: {total_before} -> {total_after} gates "
+          f"({saved} saved, {saved / total_before:.0%})")
+
+    print("\nwhy this works: a window of many gates on <= 4 wires computes")
+    print("a 4-bit reversible function whose true optimum is usually far")
+    print("below the window's length (random functions average ~12 gates).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""One-off deep run: build the k = 7 database and verify Table 4 row 7.
+
+Expected (paper Table 4): 19,466,575 equivalence classes and
+932,651,938 functions of optimal size exactly 7.  Takes several minutes
+and ~2 GB of RAM on a single core; the result is cached so the bench
+suite can reuse it via REPRO_BENCH_K=7.
+
+Run:  python scripts/run_k7.py
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.synth.bfs import build_database
+
+EXPECTED_REDUCED = [1, 4, 33, 425, 6538, 101983, 1482686, 19466575]
+EXPECTED_FUNCTIONS = [
+    1,
+    32,
+    784,
+    16204,
+    294507,
+    4807552,
+    70763560,
+    932651938,
+]
+
+
+def main() -> None:
+    start = time.perf_counter()
+    db = build_database(
+        4,
+        7,
+        progress=lambda level, count: print(
+            f"  size {level}: {count:,} new classes "
+            f"[{time.perf_counter() - start:.0f}s]",
+            flush=True,
+        ),
+    )
+    build_seconds = time.perf_counter() - start
+    print(f"\nbuilt k=7 in {build_seconds:.0f}s")
+
+    reduced = db.reduced_counts()
+    print(f"reduced counts: {reduced}")
+    assert reduced == EXPECTED_REDUCED, "MISMATCH vs paper Table 4 (reduced)"
+
+    start = time.perf_counter()
+    functions = db.function_counts()
+    print(f"function counts: {functions} "
+          f"[class-size accounting {time.perf_counter() - start:.0f}s]")
+    assert functions == EXPECTED_FUNCTIONS, "MISMATCH vs paper Table 4"
+
+    cache = Path(__file__).resolve().parent.parent / ".bench-cache"
+    db.save(cache / "db-n4-k7.npz")
+    print(f"EXACT MATCH with paper Table 4 rows 0..7; saved to {cache}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+the package can be installed in editable mode on machines without the
+``wheel`` package or network access (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

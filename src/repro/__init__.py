@@ -1,0 +1,53 @@
+"""repro: optimal synthesis of 4-bit reversible circuits.
+
+A from-scratch reproduction of Golubitsky, Falconer & Maslov, "Synthesis
+of the Optimal 4-bit Reversible Circuits" (DAC 2010; arXiv:1003.1914).
+
+Quick start::
+
+    from repro import OptimalSynthesizer
+
+    synth = OptimalSynthesizer(k=5, max_list_size=3)
+    circuit = synth.synthesize("[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]")
+    print(circuit)   # TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import CNOT, NOT, TOF, TOF4, Circuit, Gate, Permutation, all_gates
+from repro.errors import (
+    InvalidCircuitError,
+    InvalidGateError,
+    InvalidPermutationError,
+    ReproError,
+    SizeLimitExceededError,
+    SynthesisError,
+)
+from repro.synth import MeetInTheMiddleSearch, OptimalDatabase, OptimalSynthesizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core model
+    "Circuit",
+    "Gate",
+    "Permutation",
+    "NOT",
+    "CNOT",
+    "TOF",
+    "TOF4",
+    "all_gates",
+    # synthesis
+    "OptimalSynthesizer",
+    "OptimalDatabase",
+    "MeetInTheMiddleSearch",
+    # errors
+    "ReproError",
+    "InvalidPermutationError",
+    "InvalidGateError",
+    "InvalidCircuitError",
+    "SynthesisError",
+    "SizeLimitExceededError",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis: size distributions, tail estimation, hard-permutation search."""
+
+from repro.analysis.distribution import SizeDistribution, sample_distribution
+from repro.analysis.estimates import (
+    estimate_total_counts,
+    exact_distribution_3bit,
+    validate_estimator_on_3bit,
+)
+from repro.analysis.hard import HardSearchResult, extension_search, full_enumeration
+from repro.analysis.reed_muller import ReedMullerSpectrum, degree_profile
+from repro.analysis.testgen import TestSuite, generate_suite
+
+__all__ = [
+    "SizeDistribution",
+    "sample_distribution",
+    "estimate_total_counts",
+    "exact_distribution_3bit",
+    "validate_estimator_on_3bit",
+    "HardSearchResult",
+    "extension_search",
+    "full_enumeration",
+    "ReedMullerSpectrum",
+    "degree_profile",
+    "TestSuite",
+    "generate_suite",
+]

@@ -1,0 +1,120 @@
+"""Positive-polarity Reed--Muller (ANF) spectra of reversible functions.
+
+The paper defines linear reversible functions spectrally: "those whose
+positive polarity Reed-Muller polynomial has only linear terms"
+(Section 4.3).  This module computes the algebraic normal form of each
+output bit of a reversible function, giving an independent
+characterization that cross-validates the GF(2)-matrix view of
+:mod:`repro.synth.gf2` and a degree profile useful for classifying
+benchmark functions.
+
+The ANF of a Boolean function ``f: {0,1}^n -> {0,1}`` is the unique XOR
+of AND-monomials; coefficient ``c_m`` (for a monomial given by variable
+mask ``m``) is computed by the Möbius/butterfly transform over GF(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.permutation import Permutation
+
+
+def anf_transform(truth_column: list[int]) -> list[int]:
+    """Möbius transform: truth table -> ANF coefficient vector.
+
+    ``truth_column[x]`` is the function value at input ``x``; the result
+    maps monomial mask ``m`` to its coefficient.  The transform is an
+    involution over GF(2).
+    """
+    size = len(truth_column)
+    if size & (size - 1):
+        raise ValueError("truth table length must be a power of two")
+    coefficients = list(truth_column)
+    stride = 1
+    while stride < size:
+        for block in range(0, size, stride * 2):
+            for offset in range(stride):
+                low = block + offset
+                coefficients[low + stride] ^= coefficients[low]
+        stride *= 2
+    return coefficients
+
+
+def anf_to_terms(coefficients: list[int], n_vars: int) -> list[str]:
+    """Readable monomial list, e.g. ``['1', 'a', 'b·c']`` (wire letters)."""
+    from repro.core.gates import WIRE_NAMES
+
+    terms = []
+    for mask, coefficient in enumerate(coefficients):
+        if not coefficient:
+            continue
+        if mask == 0:
+            terms.append("1")
+        else:
+            terms.append(
+                "·".join(
+                    WIRE_NAMES[v] for v in range(n_vars) if (mask >> v) & 1
+                )
+            )
+    return terms
+
+
+def anf_degree(coefficients: list[int]) -> int:
+    """Algebraic degree: largest monomial size with coefficient 1."""
+    degree = 0
+    for mask, coefficient in enumerate(coefficients):
+        if coefficient:
+            degree = max(degree, bin(mask).count("1"))
+    return degree
+
+
+@dataclass(frozen=True)
+class ReedMullerSpectrum:
+    """Per-output ANF data of a reversible function.
+
+    Attributes:
+        n_wires: Wire count.
+        output_anfs: ``output_anfs[bit]`` is the ANF coefficient vector
+            of output bit ``bit``.
+    """
+
+    n_wires: int
+    output_anfs: tuple[tuple[int, ...], ...]
+
+    @staticmethod
+    def of(perm: Permutation) -> "ReedMullerSpectrum":
+        columns = []
+        for bit in range(perm.n_wires):
+            truth = [(perm(x) >> bit) & 1 for x in range(1 << perm.n_wires)]
+            columns.append(tuple(anf_transform(truth)))
+        return ReedMullerSpectrum(
+            n_wires=perm.n_wires, output_anfs=tuple(columns)
+        )
+
+    def degree(self) -> int:
+        """Maximal algebraic degree over the outputs.
+
+        Degree <= 1 characterizes the paper's "linear reversible
+        functions" (NOT/CNOT circuits); reversible functions of maximal
+        degree n - 1 need the widest Toffoli gates.
+        """
+        return max(anf_degree(list(anf)) for anf in self.output_anfs)
+
+    def is_linear(self) -> bool:
+        """Paper §4.3's spectral test: only linear (and constant) terms."""
+        return self.degree() <= 1
+
+    def output_terms(self, bit: int) -> list[str]:
+        """Readable ANF of one output bit."""
+        return anf_to_terms(list(self.output_anfs[bit]), self.n_wires)
+
+    def term_count(self) -> int:
+        """Total number of monomials across outputs (spectral weight)."""
+        return sum(sum(anf) for anf in self.output_anfs)
+
+
+def degree_profile(perm: Permutation) -> list[int]:
+    """Algebraic degree of each output bit."""
+    spectrum = ReedMullerSpectrum.of(perm)
+    return [anf_degree(list(anf)) for anf in spectrum.output_anfs]

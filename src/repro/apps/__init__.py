@@ -1,0 +1,16 @@
+"""Applications built on the optimal synthesizer."""
+
+from repro.apps.adder import (
+    full_adder_permutation,
+    optimal_adder_circuit,
+    suboptimal_adder_circuit,
+)
+from repro.apps.peephole import PeepholeOptimizer, PeepholeReport
+
+__all__ = [
+    "full_adder_permutation",
+    "optimal_adder_circuit",
+    "suboptimal_adder_circuit",
+    "PeepholeOptimizer",
+    "PeepholeReport",
+]

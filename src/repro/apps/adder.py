@@ -1,0 +1,50 @@
+"""The 1-bit full adder of the paper's motivating example (Figure 2).
+
+"The famous Shor's integer factoring algorithm is dominated by adders
+like this" -- the paper contrasts a suboptimal adder circuit with the
+optimal 4-gate implementation.  The reversible adder takes inputs
+(a, b, c, d) where ``c`` doubles as carry-in and ``d`` (normally 0) is a
+garbage/ancilla line, and produces
+
+    a' = a
+    b' = a ⊕ b
+    c' = a ⊕ b ⊕ c        (the sum)
+    d' = d ⊕ maj(a, b, c)  (the carry-out)
+
+This is exactly the ``rd32`` benchmark of Table 6, whose optimality at
+4 gates the paper proves.
+"""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+
+
+def full_adder_permutation() -> Permutation:
+    """The 4-bit reversible full-adder specification (= rd32 in Table 6)."""
+    values = []
+    for x in range(16):
+        a, b, c, d = (x >> 0) & 1, (x >> 1) & 1, (x >> 2) & 1, (x >> 3) & 1
+        total = a + b + c
+        sum_bit = total & 1
+        carry = (total >> 1) & 1
+        y = a | ((a ^ b) << 1) | (sum_bit << 2) | ((d ^ carry) << 3)
+        values.append(y)
+    return Permutation.from_values(values)
+
+
+def optimal_adder_circuit() -> Circuit:
+    """The 4-gate optimal adder of Figure 2(b) (the paper's rd32 circuit)."""
+    return Circuit.parse("TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)", 4)
+
+
+def suboptimal_adder_circuit() -> Circuit:
+    """A textbook-style suboptimal adder in the spirit of Figure 2(a).
+
+    Computes the majority with three Toffoli gates (one per input pair)
+    and the sum with a chain of CNOTs -- six gates where four suffice.
+    """
+    return Circuit.parse(
+        "TOF(a,b,d) TOF(a,c,d) TOF(b,c,d) CNOT(b,c) CNOT(a,c) CNOT(a,b)", 4
+    )

@@ -1,0 +1,9 @@
+"""Benchmark functions from Table 6 of the paper."""
+
+from repro.benchmarks_data.functions import (
+    BENCHMARKS,
+    BenchmarkFunction,
+    get_benchmark,
+)
+
+__all__ = ["BENCHMARKS", "BenchmarkFunction", "get_benchmark"]

@@ -1,0 +1,216 @@
+"""The 13 benchmark functions of Table 6, with the paper's results.
+
+Each entry records the specification, the size of the best previously
+known circuit (SBKC) and its source, whether that circuit had been proved
+optimal, the size of the optimal circuit (SOC) found by the paper, and
+the paper's reported optimal circuit (which the tests verify against the
+specification).
+
+``mperk`` is special: the paper's 9-gate circuit realizes the
+specification only up to a final relabeling of outputs (marked by an
+asterisk in Table 6); ``output_permutation`` records the wire relabeling
+that completes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class BenchmarkFunction:
+    """One row of Table 6."""
+
+    name: str
+    spec: tuple[int, ...]
+    best_known_size: "int | None"
+    best_known_source: str
+    previously_proved_optimal: bool
+    optimal_size: int
+    paper_circuit: str
+    needs_output_permutation: bool = False
+
+    def permutation(self) -> Permutation:
+        """The function as a :class:`Permutation`."""
+        return Permutation.from_values(list(self.spec))
+
+    def circuit(self) -> Circuit:
+        """The paper's reported optimal circuit."""
+        return Circuit.parse(self.paper_circuit, 4)
+
+
+BENCHMARKS: tuple[BenchmarkFunction, ...] = (
+    BenchmarkFunction(
+        name="4_49",
+        spec=(15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11),
+        best_known_size=12,
+        best_known_source="[6]",
+        previously_proved_optimal=False,
+        optimal_size=12,
+        paper_circuit=(
+            "NOT(a) CNOT(c,a) CNOT(a,d) TOF(a,b,d) CNOT(d,a) TOF(c,d,b) "
+            "TOF(a,d,c) TOF(b,c,a) TOF(a,b,d) NOT(a) CNOT(d,b) CNOT(d,c)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="4bit-7-8",
+        spec=(0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15),
+        best_known_size=7,
+        best_known_source="[8]",
+        previously_proved_optimal=False,
+        optimal_size=7,
+        paper_circuit=(
+            "CNOT(d,b) CNOT(d,a) CNOT(c,d) TOF4(a,b,d,c) CNOT(c,d) "
+            "CNOT(d,b) CNOT(d,a)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="decode42",
+        spec=(1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15),
+        best_known_size=11,
+        best_known_source="[4]",
+        previously_proved_optimal=False,
+        optimal_size=10,
+        paper_circuit=(
+            "CNOT(c,b) CNOT(d,a) CNOT(c,a) TOF(a,d,b) CNOT(b,c) "
+            "TOF4(a,b,c,d) TOF(b,d,c) CNOT(c,a) CNOT(a,b) NOT(a)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="hwb4",
+        spec=(0, 2, 4, 12, 8, 5, 9, 11, 1, 6, 10, 13, 3, 14, 7, 15),
+        best_known_size=11,
+        best_known_source="[6]",
+        previously_proved_optimal=True,
+        optimal_size=11,
+        paper_circuit=(
+            "CNOT(b,d) CNOT(d,a) CNOT(a,c) TOF4(b,c,d,a) CNOT(d,b) "
+            "CNOT(c,d) TOF(a,c,b) TOF4(b,c,d,a) CNOT(d,c) CNOT(a,c) CNOT(b,d)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="imark",
+        spec=(4, 5, 2, 14, 0, 3, 6, 10, 11, 8, 15, 1, 12, 13, 7, 9),
+        best_known_size=7,
+        best_known_source="[13]",
+        previously_proved_optimal=False,
+        optimal_size=7,
+        paper_circuit=(
+            "TOF(c,d,a) TOF(a,b,d) CNOT(d,c) CNOT(b,c) CNOT(d,a) "
+            "TOF(a,c,b) NOT(c)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="mperk",
+        spec=(3, 11, 2, 10, 0, 7, 1, 6, 15, 8, 14, 9, 13, 5, 12, 4),
+        best_known_size=9,
+        best_known_source="[12, 8]",
+        previously_proved_optimal=False,
+        optimal_size=9,
+        # Table 6 marks mperk's size with an asterisk ("requires some extra
+        # SWAP gates").  The circuit as printed nevertheless implements the
+        # specification above exactly (verified in the tests), so the
+        # asterisk evidently refers to the source circuit of [12, 8].
+        paper_circuit=(
+            "NOT(c) CNOT(d,c) TOF(c,d,b) TOF(a,c,d) CNOT(b,a) CNOT(d,a) "
+            "CNOT(c,a) CNOT(a,b) CNOT(b,c)"
+        ),
+        needs_output_permutation=False,
+    ),
+    BenchmarkFunction(
+        name="oc5",
+        spec=(6, 0, 12, 15, 7, 1, 5, 2, 4, 10, 13, 3, 11, 8, 14, 9),
+        best_known_size=15,
+        best_known_source="[14]",
+        previously_proved_optimal=False,
+        optimal_size=11,
+        paper_circuit=(
+            "TOF(b,d,c) TOF(c,d,b) TOF(a,b,c) NOT(a) CNOT(d,b) CNOT(a,c) "
+            "TOF(b,c,d) CNOT(a,b) CNOT(c,a) CNOT(a,c) TOF4(a,b,d,c)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="oc6",
+        spec=(9, 0, 2, 15, 11, 6, 7, 8, 14, 3, 4, 13, 5, 1, 12, 10),
+        best_known_size=14,
+        best_known_source="[14]",
+        previously_proved_optimal=False,
+        optimal_size=12,
+        paper_circuit=(
+            "TOF4(b,c,d,a) TOF4(a,c,d,b) CNOT(d,c) TOF(b,c,d) TOF(c,d,a) "
+            "TOF4(a,b,d,c) CNOT(b,a) NOT(a) CNOT(c,b) CNOT(d,c) CNOT(a,d) "
+            "TOF(b,d,c)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="oc7",
+        spec=(6, 15, 9, 5, 13, 12, 3, 7, 2, 10, 1, 11, 0, 14, 4, 8),
+        best_known_size=17,
+        best_known_source="[14]",
+        previously_proved_optimal=False,
+        optimal_size=13,
+        paper_circuit=(
+            "TOF(b,d,c) TOF(a,b,d) CNOT(b,a) TOF4(a,c,d,b) CNOT(c,b) "
+            "CNOT(d,c) TOF(a,c,d) NOT(b) NOT(d) CNOT(b,c) TOF(b,d,a) "
+            "TOF(a,c,d) CNOT(c,a)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="oc8",
+        spec=(11, 3, 9, 2, 7, 13, 15, 14, 8, 1, 4, 10, 0, 12, 6, 5),
+        best_known_size=16,
+        best_known_source="[14]",
+        previously_proved_optimal=False,
+        optimal_size=12,
+        # The circuit as printed in the paper's text has 11 gates against a
+        # stated SOC of 12; a leading CNOT(a,b) was evidently lost in
+        # typesetting.  Re-inserting it is the unique single-gate completion
+        # that realizes the specification (verified in the tests).
+        paper_circuit=(
+            "CNOT(a,b) CNOT(d,a) TOF(b,c,a) TOF(c,d,b) TOF4(a,b,d,c) "
+            "TOF(a,b,d) TOF(a,d,b) NOT(a) NOT(b) TOF(b,d,a) CNOT(a,d) "
+            "TOF(b,c,d)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="primes4",
+        spec=(2, 3, 5, 7, 11, 13, 0, 1, 4, 6, 8, 9, 10, 12, 14, 15),
+        best_known_size=None,
+        best_known_source="(new in the paper)",
+        previously_proved_optimal=False,
+        optimal_size=10,
+        paper_circuit=(
+            "CNOT(d,c) CNOT(c,a) CNOT(b,c) NOT(b) TOF(b,c,d) TOF4(a,b,d,c) "
+            "TOF(a,c,b) NOT(a) TOF4(a,c,d,b) CNOT(b,a)"
+        ),
+    ),
+    BenchmarkFunction(
+        name="rd32",
+        spec=(0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5),
+        best_known_size=4,
+        best_known_source="[2]",
+        previously_proved_optimal=True,
+        optimal_size=4,
+        paper_circuit="TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)",
+    ),
+    BenchmarkFunction(
+        name="shift4",
+        spec=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0),
+        best_known_size=4,
+        best_known_source="[8]",
+        previously_proved_optimal=True,
+        optimal_size=4,
+        paper_circuit="TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)",
+    ),
+)
+
+
+def get_benchmark(name: str) -> BenchmarkFunction:
+    """Look a benchmark up by name (raises KeyError when unknown)."""
+    for bench in BENCHMARKS:
+        if bench.name == name:
+            return bench
+    raise KeyError(f"unknown benchmark: {name!r}")

@@ -1,0 +1,326 @@
+"""Command-line interface: ``repro <subcommand>`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``synth SPEC``      -- synthesize an optimal circuit for a spec string.
+* ``build-db``        -- pre-compute and cache the BFS database.
+* ``linear``          -- Table 5: all 4-bit linear reversible functions.
+* ``random N``        -- size distribution of N random permutations.
+* ``benchmarks``      -- synthesize the Table 6 benchmark suite.
+* ``info``            -- library and database information.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import __version__
+from repro.core.permutation import Permutation
+from repro.errors import ReproError, SizeLimitExceededError
+
+
+def _add_synth_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--wires", type=int, default=4, help="wire count (default 4)"
+    )
+    parser.add_argument(
+        "-k", type=int, default=6, help="BFS database depth (default 6)"
+    )
+    parser.add_argument(
+        "--lists",
+        type=int,
+        default=None,
+        help="list depth m; reachable size is k+m (default min(k,3))",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read/write the cache"
+    )
+
+
+def _make_synthesizer(args):
+    from repro.synth.synthesizer import OptimalSynthesizer
+
+    return OptimalSynthesizer(
+        n_wires=args.wires,
+        k=args.k,
+        max_list_size=args.lists,
+        cache_dir=False if args.no_cache else None,
+        verbose=True,
+    )
+
+
+def cmd_synth(args) -> int:
+    synth = _make_synthesizer(args)
+    perm = Permutation.from_spec(args.spec)
+    start = time.perf_counter()
+    try:
+        outcome = synth.search(perm)
+    except SizeLimitExceededError as exc:
+        print(
+            f"size > {synth.max_size} (proven lower bound: {exc.lower_bound}); "
+            "raise -k or --lists"
+        )
+        return 1
+    elapsed = time.perf_counter() - start
+    print(f"specification : {perm.spec()}")
+    print(f"optimal size  : {outcome.size} gates (provably minimal)")
+    print(f"circuit       : {outcome.circuit}")
+    print(f"depth         : {outcome.circuit.depth()}")
+    print(f"NCV cost      : {outcome.circuit.cost()}")
+    print(f"query time    : {elapsed:.4f}s")
+    if args.draw:
+        print(outcome.circuit.draw())
+    if args.qasm:
+        from repro.io.qasm import write_qasm
+
+        write_qasm(
+            outcome.circuit,
+            args.qasm,
+            comment=f"optimal ({outcome.size} gates) for {perm.spec()}",
+        )
+        print(f"QASM written to {args.qasm}")
+    if args.real:
+        from repro.io.real_format import write_real
+
+        write_real(
+            outcome.circuit,
+            args.real,
+            comment=f"optimal ({outcome.size} gates) for {perm.spec()}",
+        )
+        print(f".real written to {args.real}")
+    return 0
+
+
+def cmd_build_db(args) -> int:
+    synth = _make_synthesizer(args)
+    synth.prepare(force_rebuild=args.force)
+    db = synth.database
+    print(f"classes per size : {db.reduced_counts()}")
+    print(f"functions per size: {db.function_counts()}")
+    stats = db.table.stats()
+    for row in stats.format_rows():
+        print(row)
+    return 0
+
+
+def cmd_linear(args) -> int:
+    from repro.synth.linear import LinearSynthesizer
+
+    synth = LinearSynthesizer(args.wires)
+    db = synth.database
+    print("Size  Functions   (Table 5 of the paper)")
+    for size in range(db.max_size, -1, -1):
+        print(f"{size:<5d} {db.counts[size]}")
+    print(f"total {db.total_functions}")
+    return 0
+
+
+def cmd_random(args) -> int:
+    from repro.analysis.distribution import sample_distribution
+
+    synth = _make_synthesizer(args)
+    synth.prepare()
+    dist = sample_distribution(
+        synth.search_engine,
+        args.count,
+        seed=args.seed,
+        n_wires=args.wires,
+        progress=lambda done, total: print(f"  {done}/{total}", flush=True),
+    )
+    print(dist.format_table())
+    if dist.observed:
+        print(f"average size (observed): {dist.weighted_average():.2f}")
+    if dist.censored:
+        low, high = dist.weighted_average_bounds()
+        print(f"average size (bounds incl. censored): [{low:.2f}, {high:.2f}]")
+    return 0
+
+
+def cmd_benchmarks(args) -> int:
+    from repro.benchmarks_data import BENCHMARKS
+
+    synth = _make_synthesizer(args)
+    synth.prepare()
+    print(f"{'Name':<10} {'SBKC':>5} {'SOC':>4} {'ours':>5} {'time':>9}")
+    for bench in BENCHMARKS:
+        start = time.perf_counter()
+        size, exact = synth.size_or_bound(bench.permutation())
+        elapsed = time.perf_counter() - start
+        ours = str(size) if exact else f">={size}"
+        sbkc = str(bench.best_known_size) if bench.best_known_size else "n/a"
+        print(
+            f"{bench.name:<10} {sbkc:>5} {bench.optimal_size:>4} {ours:>5} "
+            f"{elapsed:>8.3f}s"
+        )
+    return 0
+
+
+def cmd_peephole(args) -> int:
+    from repro.apps.peephole import PeepholeOptimizer
+    from repro.io.real_format import read_real, write_real
+
+    circuit = read_real(args.input)
+    synth = _make_synthesizer(args)
+    synth.prepare()
+    optimizer = PeepholeOptimizer(synth)
+    report = optimizer.optimize(circuit)
+    print(f"input : {circuit.gate_count} gates on {circuit.n_wires} wires")
+    print(
+        f"output: {report.optimized.gate_count} gates "
+        f"({report.gates_saved} saved in {report.passes} pass(es), "
+        f"{report.windows_replaced}/{report.windows_examined} windows improved)"
+    )
+    if args.output:
+        write_real(
+            report.optimized,
+            args.output,
+            comment=f"peephole-optimized from {args.input}",
+        )
+        print(f"written to {args.output}")
+    return 0
+
+
+def cmd_testgen(args) -> int:
+    from repro.analysis.testgen import generate_suite
+
+    synth = _make_synthesizer(args)
+    synth.prepare()
+    suite = generate_suite(
+        synth.database, per_size=args.per_size, seed=args.seed
+    )
+    suite.save(args.output)
+    by_size = suite.by_size()
+    print(
+        f"wrote {len(suite.cases)} cases "
+        f"(sizes {min(by_size)}..{max(by_size)}) to {args.output}"
+    )
+    return 0
+
+
+def cmd_libraries(args) -> int:
+    from repro.synth.libraries import STANDARD_LIBRARIES, full_distribution
+
+    print("exact optimal-size distributions over the full 3-bit group:")
+    print(f"{'library':<7} {'gates':>5} {'L(3)':>5}  distribution")
+    for name, maker in STANDARD_LIBRARIES.items():
+        library = maker(3)
+        dist = full_distribution(library)
+        print(
+            f"{library.name:<7} {len(library):>5} {len(dist) - 1:>5}  {dist}"
+        )
+    return 0
+
+
+def cmd_clifford(args) -> int:
+    from repro.stabilizer import CliffordSynthesizer
+
+    synth = CliffordSynthesizer(args.qubits)
+    distribution = synth.distribution()
+    print(
+        f"|C_{args.qubits}| = {sum(distribution):,} Clifford operators "
+        f"over {{H, S, S†, CNOT}}"
+    )
+    print("Size  Elements")
+    for size in range(len(distribution) - 1, -1, -1):
+        print(f"{size:<5d} {distribution[size]}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    import numpy
+
+    from repro.synth.synthesizer import default_cache_dir
+
+    print(f"repro {__version__} (numpy {numpy.__version__})")
+    print(f"cache directory: {default_cache_dir()}")
+    cache = default_cache_dir()
+    if cache.exists():
+        for path in sorted(cache.glob("*.npz")):
+            print(f"  {path.name}  {path.stat().st_size / (1 << 20):.1f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Optimal synthesis of 4-bit reversible circuits "
+            "(Golubitsky, Falconer & Maslov, DAC 2010)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="synthesize an optimal circuit")
+    p_synth.add_argument("spec", help='spec string, e.g. "[0,2,1,3,...]"')
+    p_synth.add_argument("--draw", action="store_true", help="ASCII drawing")
+    p_synth.add_argument("--qasm", help="also write OpenQASM 2.0 to this file")
+    p_synth.add_argument("--real", help="also write RevLib .real to this file")
+    _add_synth_options(p_synth)
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_build = sub.add_parser("build-db", help="pre-compute the database")
+    p_build.add_argument("--force", action="store_true")
+    _add_synth_options(p_build)
+    p_build.set_defaults(func=cmd_build_db)
+
+    p_linear = sub.add_parser("linear", help="Table 5: linear functions")
+    p_linear.add_argument("--wires", type=int, default=4)
+    p_linear.set_defaults(func=cmd_linear)
+
+    p_random = sub.add_parser("random", help="random-permutation distribution")
+    p_random.add_argument("count", type=int)
+    p_random.add_argument("--seed", type=int, default=5489)
+    _add_synth_options(p_random)
+    p_random.set_defaults(func=cmd_random)
+
+    p_bench = sub.add_parser("benchmarks", help="Table 6 benchmark suite")
+    _add_synth_options(p_bench)
+    p_bench.set_defaults(func=cmd_benchmarks)
+
+    p_peep = sub.add_parser(
+        "peephole", help="optimize a .real circuit via optimal resynthesis"
+    )
+    p_peep.add_argument("input", help="input .real file")
+    p_peep.add_argument("-o", "--output", help="output .real file")
+    _add_synth_options(p_peep)
+    p_peep.set_defaults(func=cmd_peephole)
+
+    p_testgen = sub.add_parser(
+        "testgen", help="generate a heuristic-evaluation test suite"
+    )
+    p_testgen.add_argument("output", help="output suite file")
+    p_testgen.add_argument("--per-size", type=int, default=10)
+    p_testgen.add_argument("--seed", type=int, default=5489)
+    _add_synth_options(p_testgen)
+    p_testgen.set_defaults(func=cmd_testgen)
+
+    p_libs = sub.add_parser(
+        "libraries", help="compare gate libraries (NCT/NCTS/NCTSF/NCP)"
+    )
+    p_libs.set_defaults(func=cmd_libraries)
+
+    p_clifford = sub.add_parser(
+        "clifford", help="optimal Clifford (stabilizer) circuit table"
+    )
+    p_clifford.add_argument("--qubits", type=int, default=2, choices=(1, 2))
+    p_clifford.set_defaults(func=cmd_clifford)
+
+    p_info = sub.add_parser("info", help="library and cache information")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

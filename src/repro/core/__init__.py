@@ -1,0 +1,16 @@
+"""Core data model: packed permutations, gates, circuits, symmetries."""
+
+from repro.core.circuit import Circuit
+from repro.core.gates import CNOT, NOT, TOF, TOF4, Gate, all_gates
+from repro.core.permutation import Permutation
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "Permutation",
+    "NOT",
+    "CNOT",
+    "TOF",
+    "TOF4",
+    "all_gates",
+]

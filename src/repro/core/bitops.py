@@ -1,0 +1,57 @@
+"""Small bit-manipulation helpers shared across the library.
+
+These are deliberately tiny, dependency-free functions.  The packed
+permutation arithmetic in :mod:`repro.core.packed` builds on them.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    return bin(x).count("1")
+
+
+def bit(x: int, i: int) -> int:
+    """Bit ``i`` of ``x`` (0 or 1)."""
+    return (x >> i) & 1
+
+
+def set_bit(x: int, i: int, value: int) -> int:
+    """Return ``x`` with bit ``i`` forced to ``value`` (0 or 1)."""
+    if value:
+        return x | (1 << i)
+    return x & ~(1 << i)
+
+
+def flip_bit(x: int, i: int) -> int:
+    """Return ``x`` with bit ``i`` toggled."""
+    return x ^ (1 << i)
+
+
+def swap_bits(x: int, i: int, j: int) -> int:
+    """Return ``x`` with bits ``i`` and ``j`` exchanged."""
+    bi = (x >> i) & 1
+    bj = (x >> j) & 1
+    if bi == bj:
+        return x
+    return x ^ ((1 << i) | (1 << j))
+
+
+def permute_bits(x: int, wire_perm: tuple[int, ...]) -> int:
+    """Permute the low ``len(wire_perm)`` bits of ``x``.
+
+    Bit ``i`` of the input becomes bit ``wire_perm[i]`` of the output.
+    Bits above ``len(wire_perm)`` must be zero.
+    """
+    out = 0
+    for i, target in enumerate(wire_perm):
+        out |= ((x >> i) & 1) << target
+    return out
+
+
+def mask64(x: int) -> int:
+    """Truncate a Python integer to 64 bits (two's-complement wraparound)."""
+    return x & MASK64

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """Raised when a value sequence or packed word is not a permutation."""
+
+
+class InvalidGateError(ReproError, ValueError):
+    """Raised when a gate specification is malformed (bad target/controls)."""
+
+
+class InvalidCircuitError(ReproError, ValueError):
+    """Raised when a circuit description cannot be parsed or validated."""
+
+class SynthesisError(ReproError):
+    """Base class for synthesis failures."""
+
+
+class SizeLimitExceededError(SynthesisError):
+    """Raised when a function provably requires more gates than the
+    configured search bound ``L`` can reach.
+
+    The search in Algorithm 1 of the paper is exhaustive up to ``L``; when
+    it fails, the failure itself is a proof that ``size(f) > L``.  The
+    proven lower bound is available as :attr:`lower_bound`.
+    """
+
+    def __init__(self, message: str, lower_bound: int):
+        super().__init__(message)
+        self.lower_bound = lower_bound
+
+
+class DatabaseError(ReproError):
+    """Raised on database construction, persistence, or lookup problems."""
+
+
+class UnsatisfiableError(ReproError):
+    """Raised by the SAT subsystem when a formula is proven unsatisfiable
+    and the caller asked for a model."""

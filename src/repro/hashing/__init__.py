@@ -1,0 +1,6 @@
+"""Hashing substrate: Thomas Wang's 64-bit mix and a linear-probing table."""
+
+from repro.hashing.table import LinearProbingTable, TableStats
+from repro.hashing.wang import hash64shift, hash64shift_np
+
+__all__ = ["LinearProbingTable", "TableStats", "hash64shift", "hash64shift_np"]

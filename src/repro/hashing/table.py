@@ -1,0 +1,303 @@
+"""Open-addressing linear-probing hash table for packed permutations.
+
+The paper stores canonical representatives in "a linear probing hash
+table with Thomas Wang's hash function" and reports its parameters in
+Table 2 (size, memory usage, load factor, average and maximal chain
+length).  This module implements that exact structure on numpy arrays:
+a power-of-two slot array of ``uint64`` keys plus a parallel array of
+small integer values (circuit sizes in the synthesis database).
+
+The all-ones word is used as the empty-slot sentinel; it can never encode
+a valid permutation (its nibbles repeat), so no key escaping is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatabaseError
+from repro.hashing.wang import hash64shift, hash64shift_np
+
+EMPTY = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Occupancy statistics in the format of the paper's Table 2."""
+
+    capacity: int
+    count: int
+    load_factor: float
+    memory_bytes: int
+    average_probe_length: float
+    maximal_probe_length: int
+    average_cluster_length: float
+    maximal_cluster_length: int
+
+    def format_rows(self) -> list[str]:
+        """Rows matching Table 2's row labels."""
+        return [
+            f"Size                  {self.capacity}",
+            f"Memory Usage          {self.memory_bytes / (1 << 20):.1f} MB",
+            f"Load Factor           {self.load_factor:.2f}",
+            f"Average Chain Length  {self.average_cluster_length:.2f}",
+            f"Maximal Chain Length  {self.maximal_cluster_length}",
+        ]
+
+
+class LinearProbingTable:
+    """Fixed-capacity (auto-growing) linear-probing map ``uint64 -> uint8``.
+
+    Args:
+        capacity_bits: log2 of the initial slot count.
+        missing_value: value returned by lookups for absent keys; must not
+            be used as a stored value.
+        max_load_factor: the table doubles when occupancy would exceed this.
+    """
+
+    def __init__(
+        self,
+        capacity_bits: int = 16,
+        missing_value: int = 255,
+        max_load_factor: float = 0.85,
+    ):
+        if not 4 <= capacity_bits <= 34:
+            raise DatabaseError(f"capacity_bits out of range: {capacity_bits}")
+        self._capacity_bits = capacity_bits
+        self._keys = np.full(1 << capacity_bits, EMPTY, dtype=np.uint64)
+        self._values = np.zeros(1 << capacity_bits, dtype=np.uint8)
+        self._count = 0
+        self.missing_value = missing_value
+        self.max_load_factor = max_load_factor
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Current number of slots."""
+        return self._keys.shape[0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of occupied slots."""
+        return self._count / self.capacity
+
+    def _grow(self, target_bits: "int | None" = None) -> None:
+        old_keys, old_values = self._keys, self._values
+        self._capacity_bits = target_bits or (self._capacity_bits + 1)
+        self._keys = np.full(1 << self._capacity_bits, EMPTY, dtype=np.uint64)
+        self._values = np.zeros(1 << self._capacity_bits, dtype=np.uint8)
+        self._count = 0
+        occupied = old_keys != EMPTY
+        self.insert_batch(old_keys[occupied], old_values[occupied])
+
+    def reserve(self, expected_count: int) -> None:
+        """Grow (in one jump) until ``expected_count`` fits under the
+        load-factor cap."""
+        target_bits = self._capacity_bits
+        while expected_count > self.max_load_factor * (1 << target_bits):
+            target_bits += 1
+        if target_bits > self._capacity_bits:
+            self._grow(target_bits)
+
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> bool:
+        """Insert one entry; returns False when the key was already present
+        (the stored value is left unchanged)."""
+        if self._count + 1 > self.max_load_factor * self.capacity:
+            self._grow()
+        mask = self.capacity - 1
+        pos = hash64shift(int(key)) & mask
+        key_u = np.uint64(key)
+        keys = self._keys
+        while True:
+            slot_key = keys[pos]
+            if slot_key == EMPTY:
+                keys[pos] = key_u
+                self._values[pos] = value
+                self._count += 1
+                return True
+            if slot_key == key_u:
+                return False
+            pos = (pos + 1) & mask
+
+    def get(self, key: int, default: "int | None" = None) -> "int | None":
+        """Value stored for ``key``, or ``default`` when absent."""
+        mask = self.capacity - 1
+        pos = hash64shift(int(key)) & mask
+        key_u = np.uint64(key)
+        keys = self._keys
+        while True:
+            slot_key = keys[pos]
+            if slot_key == EMPTY:
+                return default
+            if slot_key == key_u:
+                return int(self._values[pos])
+            pos = (pos + 1) & mask
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> int:
+        """Insert many entries; returns the number actually added.
+
+        Duplicate keys (within the batch or vs. the table) keep their
+        first-seen value, mirroring the scalar :meth:`insert` semantics.
+        Large batches take a fully vectorized path: each probing round
+        lets every pending key inspect its slot, claims empty slots
+        (np.unique breaks same-slot races deterministically in favour of
+        the earliest batch element), and advances the rest by one.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.uint8), keys.shape
+        )
+        if keys.shape[0] == 0:
+            return 0
+        if keys.shape[0] < 256:
+            self.reserve(self._count + keys.shape[0])
+            added = 0
+            for key, value in zip(keys.tolist(), values.tolist()):
+                if self.insert(key, value):
+                    added += 1
+            return added
+        # Deduplicate within the batch, keeping the first occurrence.
+        unique_keys, first_index = np.unique(keys, return_index=True)
+        order = np.argsort(first_index)
+        unique_keys = unique_keys[order]
+        unique_values = values[first_index[order]]
+        # Drop keys already present.
+        fresh = ~self.contains_batch(unique_keys)
+        unique_keys = unique_keys[fresh]
+        unique_values = unique_values[fresh]
+        if unique_keys.shape[0] == 0:
+            return 0
+        self.reserve(self._count + unique_keys.shape[0])
+        mask = np.uint64(self.capacity - 1)
+        table_keys = self._keys
+        table_values = self._values
+        pos = hash64shift_np(unique_keys) & mask
+        pending = np.arange(unique_keys.shape[0])
+        while pending.size:
+            slots = pos[pending]
+            empty = table_keys[slots] == EMPTY
+            claimants = pending[empty]
+            if claimants.size:
+                claim_slots = slots[empty]
+                # One winner per contested slot: the earliest batch element
+                # (pending is in batch order, np.unique keeps the first).
+                _, winner_rows = np.unique(claim_slots, return_index=True)
+                winners = claimants[winner_rows]
+                table_keys[pos[winners]] = unique_keys[winners]
+                table_values[pos[winners]] = unique_values[winners]
+                self._count += winners.shape[0]
+                is_winner = np.zeros(unique_keys.shape[0], dtype=bool)
+                is_winner[winners] = True
+                pending = pending[~is_winner[pending]]
+            pos[pending] = (pos[pending] + np.uint64(1)) & mask
+        return int(unique_keys.shape[0])
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized lookup; absent keys map to ``missing_value``."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        result = np.full(keys.shape[0], self.missing_value, dtype=np.uint8)
+        if keys.shape[0] == 0:
+            return result
+        mask = np.uint64(self.capacity - 1)
+        pos = hash64shift_np(keys) & mask
+        pending = np.arange(keys.shape[0])
+        table_keys = self._keys
+        while pending.size:
+            slots = pos[pending]
+            slot_keys = table_keys[slots]
+            found = slot_keys == keys[pending]
+            empty = slot_keys == EMPTY
+            found_idx = pending[found]
+            result[found_idx] = self._values[slots[found]]
+            pending = pending[~(found | empty)]
+            pos[pending] = (pos[pending] + np.uint64(1)) & mask
+        return result
+
+    def contains_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for many keys at once."""
+        return self.lookup_batch(keys) != self.missing_value
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def keys(self) -> np.ndarray:
+        """Array of all stored keys (unordered)."""
+        return self._keys[self._keys != EMPTY].copy()
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays of stored (keys, values), aligned."""
+        occupied = self._keys != EMPTY
+        return self._keys[occupied].copy(), self._values[occupied].copy()
+
+    def stats(self) -> TableStats:
+        """Occupancy statistics (Table 2 of the paper)."""
+        occupied = self._keys != EMPTY
+        count = int(occupied.sum())
+        memory = self._keys.nbytes + self._values.nbytes
+        if count == 0:
+            return TableStats(self.capacity, 0, 0.0, memory, 0.0, 0, 0.0, 0)
+        mask = np.uint64(self.capacity - 1)
+        slots = np.nonzero(occupied)[0].astype(np.uint64)
+        homes = hash64shift_np(self._keys[occupied]) & mask
+        probe = ((slots - homes) & mask).astype(np.int64) + 1
+        # Cluster lengths: runs of consecutive occupied slots (cyclically).
+        lengths = _run_lengths_cyclic(occupied)
+        return TableStats(
+            capacity=self.capacity,
+            count=count,
+            load_factor=count / self.capacity,
+            memory_bytes=memory,
+            average_probe_length=float(probe.mean()),
+            maximal_probe_length=int(probe.max()),
+            average_cluster_length=float(lengths.mean()) if lengths.size else 0.0,
+            maximal_cluster_length=int(lengths.max()) if lengths.size else 0,
+        )
+
+    def save_arrays(self) -> dict[str, np.ndarray]:
+        """Dense (key, value) arrays for persistence."""
+        keys, values = self.items()
+        return {"keys": keys, "values": values}
+
+    @staticmethod
+    def from_arrays(
+        keys: np.ndarray, values: np.ndarray, headroom: float = 1.6
+    ) -> "LinearProbingTable":
+        """Rebuild a table sized for ``len(keys)`` entries."""
+        needed = max(16, int(len(keys) * headroom))
+        bits = max(4, int(needed - 1).bit_length())
+        table = LinearProbingTable(capacity_bits=bits)
+        table.insert_batch(keys, values)
+        return table
+
+
+def _run_lengths_cyclic(occupied: np.ndarray) -> np.ndarray:
+    """Lengths of maximal runs of True values in a cyclic boolean array."""
+    if occupied.all():
+        return np.array([occupied.shape[0]], dtype=np.int64)
+    if not occupied.any():
+        return np.array([], dtype=np.int64)
+    # Rotate so the array starts at an empty slot; runs are then acyclic.
+    first_empty = int(np.argmin(occupied))  # argmin finds the first False
+    rolled = np.roll(occupied, -first_empty)
+    changes = np.flatnonzero(np.diff(rolled.astype(np.int8)))
+    starts = changes[::2] + 1
+    ends = changes[1::2] + 1
+    if rolled[-1]:
+        ends = np.append(ends, rolled.shape[0])
+    return (ends - starts).astype(np.int64)

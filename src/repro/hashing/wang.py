@@ -1,0 +1,42 @@
+"""Thomas Wang's 64-bit integer hash (``hash64shift``), paper Section 3.3.
+
+The paper uses this mix function to key its linear-probing hash table of
+canonical representatives: "it is fast to compute and distributes the
+permutations uniformly over the hash table."  We port it faithfully; the
+original uses 64-bit two's-complement arithmetic with one signed left
+shift chain and three unsigned right shifts, all of which reduce to
+arithmetic modulo 2**64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MASK64 = (1 << 64) - 1
+
+
+def hash64shift(key: int) -> int:
+    """Scalar reference implementation (operates modulo 2**64)."""
+    key &= MASK64
+    key = ((~key & MASK64) + (key << 21)) & MASK64
+    key ^= key >> 24
+    key = (key + (key << 3) + (key << 8)) & MASK64
+    key ^= key >> 14
+    key = (key + (key << 2) + (key << 4)) & MASK64
+    key ^= key >> 28
+    key = (key + (key << 31)) & MASK64
+    return key
+
+
+def hash64shift_np(keys: np.ndarray) -> np.ndarray:
+    """Vectorized ``hash64shift`` on a ``uint64`` array."""
+    u = np.uint64
+    keys = keys.astype(np.uint64, copy=True)
+    keys = (~keys) + (keys << u(21))
+    keys ^= keys >> u(24)
+    keys = keys + (keys << u(3)) + (keys << u(8))
+    keys ^= keys >> u(14)
+    keys = keys + (keys << u(2)) + (keys << u(4))
+    keys ^= keys >> u(28)
+    keys = keys + (keys << u(31))
+    return keys

@@ -1,0 +1,6 @@
+"""Circuit file I/O: RevLib ``.real`` and OpenQASM 2.0."""
+
+from repro.io.qasm import to_qasm, write_qasm
+from repro.io.real_format import read_real, write_real
+
+__all__ = ["read_real", "write_real", "to_qasm", "write_qasm"]

@@ -1,0 +1,84 @@
+"""OpenQASM 2.0 export for NCT circuits.
+
+The paper's motivation is experimental quantum computing; OpenQASM is
+the lingua franca for handing circuits to such systems.  NCT gates map
+directly: NOT -> ``x``, CNOT -> ``cx``, Toffoli -> ``ccx``.  Toffoli-4
+is emitted as ``c3x`` when ``allow_c3x`` is set (Qiskit's standard
+library understands it), and otherwise decomposed into three ``ccx``
+gates through one clean ancilla qubit appended after the data qubits.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.errors import InvalidCircuitError
+
+
+def _gate_line(gate: Gate, register: str) -> str:
+    wires = [*gate.controls, gate.target]
+    operands = ", ".join(f"{register}[{w}]" for w in wires)
+    mnemonic = {0: "x", 1: "cx", 2: "ccx", 3: "c3x"}.get(len(gate.controls))
+    if mnemonic is None:
+        raise InvalidCircuitError(
+            f"no QASM mnemonic for {len(gate.controls)} controls"
+        )
+    return f"{mnemonic} {operands};"
+
+
+def _tof4_decomposition(gate: Gate, ancilla: int, register: str) -> list[str]:
+    """TOF4 via one clean ancilla: ccx(c1,c2,anc); ccx(anc,c3,t); undo.
+
+    The ancilla returns to |0>, so consecutive TOF4 gates may share it.
+    """
+    c1, c2, c3 = gate.controls
+    target = gate.target
+    lines = [
+        f"ccx {register}[{c1}], {register}[{c2}], {register}[{ancilla}];",
+        f"ccx {register}[{ancilla}], {register}[{c3}], {register}[{target}];",
+        f"ccx {register}[{c1}], {register}[{c2}], {register}[{ancilla}];",
+    ]
+    return lines
+
+
+def to_qasm(
+    circuit: Circuit, allow_c3x: bool = True, comment: str = ""
+) -> str:
+    """Render a circuit as an OpenQASM 2.0 program.
+
+    Args:
+        circuit: The NCT circuit.
+        allow_c3x: Emit ``c3x`` for Toffoli-4 (understood by Qiskit's
+            standard library); when False, decompose through one clean
+            ancilla qubit appended after the data qubits.
+        comment: Optional leading comment text.
+    """
+    needs_ancilla = (not allow_c3x) and any(
+        len(g.controls) == 3 for g in circuit.gates
+    )
+    n_qubits = circuit.n_wires + (1 if needs_ancilla else 0)
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"// {row}")
+    lines.append("OPENQASM 2.0;")
+    lines.append('include "qelib1.inc";')
+    lines.append(f"qreg q[{n_qubits}];")
+    for gate in circuit.gates:
+        if len(gate.controls) == 3 and not allow_c3x:
+            lines.extend(_tof4_decomposition(gate, circuit.n_wires, "q"))
+        else:
+            lines.append(_gate_line(gate, "q"))
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm(
+    circuit: Circuit, path, allow_c3x: bool = True, comment: str = ""
+) -> None:
+    """Write :func:`to_qasm` output to a file."""
+    Path(path).write_text(
+        to_qasm(circuit, allow_c3x=allow_c3x, comment=comment),
+        encoding="ascii",
+    )

@@ -1,0 +1,102 @@
+"""Reader/writer for the RevLib ``.real`` circuit format.
+
+``.real`` is the interchange format of the reversible-logic benchmark
+community (the paper's benchmark functions are distributed in it).  The
+subset implemented here covers Toffoli-family circuits::
+
+    # comment
+    .version 2.0
+    .numvars 4
+    .variables a b c d
+    .begin
+    t1 a          # NOT(a)
+    t2 a b        # CNOT(a,b)
+    t3 a b c      # TOF(a,b,c)
+    t4 a b c d    # TOF4(a,b,c,d)
+    .end
+
+``tN`` lists N - 1 control lines followed by the target line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.errors import InvalidCircuitError
+
+
+def write_real(circuit: Circuit, path: "str | Path", comment: str = "") -> None:
+    """Serialize a circuit to a ``.real`` file."""
+    from repro.core.gates import WIRE_NAMES
+
+    names = [WIRE_NAMES[w] for w in range(circuit.n_wires)]
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"# {row}")
+    lines.append(".version 2.0")
+    lines.append(f".numvars {circuit.n_wires}")
+    lines.append(".variables " + " ".join(names))
+    lines.append(".begin")
+    for gate in circuit.gates:
+        wires = [*gate.controls, gate.target]
+        lines.append(
+            f"t{len(wires)} " + " ".join(names[w] for w in wires)
+        )
+    lines.append(".end")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_real(path: "str | Path") -> Circuit:
+    """Parse a ``.real`` file into a :class:`Circuit`.
+
+    Raises :class:`InvalidCircuitError` on malformed input or gate kinds
+    outside the Toffoli family.
+    """
+    n_wires: "int | None" = None
+    name_to_wire: dict[str, int] = {}
+    gates: list[Gate] = []
+    in_body = False
+    for raw in Path(path).read_text(encoding="ascii").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, *rest = line.split()
+            if directive == ".numvars":
+                n_wires = int(rest[0])
+            elif directive == ".variables":
+                name_to_wire = {name: i for i, name in enumerate(rest)}
+            elif directive == ".begin":
+                in_body = True
+            elif directive == ".end":
+                in_body = False
+            # .inputs/.outputs/.constants/.garbage are accepted and ignored.
+            continue
+        if not in_body:
+            continue
+        kind, *wires = line.split()
+        if not kind.startswith("t"):
+            raise InvalidCircuitError(
+                f"unsupported gate kind in .real file: {kind!r}"
+            )
+        try:
+            arity = int(kind[1:])
+        except ValueError as exc:
+            raise InvalidCircuitError(f"bad gate kind: {kind!r}") from exc
+        if arity != len(wires):
+            raise InvalidCircuitError(
+                f"gate {kind} expects {arity} lines, got {len(wires)}"
+            )
+        try:
+            indices = [name_to_wire[w] for w in wires]
+        except KeyError as exc:
+            raise InvalidCircuitError(f"unknown line name: {exc}") from exc
+        gates.append(Gate(controls=tuple(indices[:-1]), target=indices[-1]))
+    if n_wires is None:
+        if not name_to_wire:
+            raise InvalidCircuitError(".real file declares no variables")
+        n_wires = len(name_to_wire)
+    return Circuit(gates=tuple(gates), n_wires=n_wires)

@@ -1,0 +1,6 @@
+"""Random-number substrate: Mersenne twister and permutation sampling."""
+
+from repro.rng.mt19937 import MersenneTwister
+from repro.rng.sampling import PermutationSampler, random_circuit
+
+__all__ = ["MersenneTwister", "PermutationSampler", "random_circuit"]

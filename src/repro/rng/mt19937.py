@@ -1,0 +1,93 @@
+"""MT19937 Mersenne twister, implemented from scratch.
+
+The paper generates its 10,000,000 random test permutations "using the
+Mersenne twister random number generator" (Matsumoto & Nishimura,
+reference [7]).  This is a faithful implementation of the reference
+``genrand_int32`` generator with the standard 2002 seeding
+(``init_genrand``), validated in the tests against the published output
+sequence for the default seed 5489.
+"""
+
+from __future__ import annotations
+
+_N = 624
+_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER_MASK = 0x80000000
+_LOWER_MASK = 0x7FFFFFFF
+_MASK32 = 0xFFFFFFFF
+
+
+class MersenneTwister:
+    """The classic 32-bit MT19937 generator.
+
+    Args:
+        seed: 32-bit seed, defaulting to the reference value 5489.
+    """
+
+    def __init__(self, seed: int = 5489):
+        self._mt = [0] * _N
+        self._index = _N
+        self.seed(seed)
+
+    def seed(self, seed: int) -> None:
+        """Re-seed with ``init_genrand`` from the 2002 reference code."""
+        mt = self._mt
+        mt[0] = seed & _MASK32
+        for i in range(1, _N):
+            mt[i] = (1812433253 * (mt[i - 1] ^ (mt[i - 1] >> 30)) + i) & _MASK32
+        self._index = _N
+
+    def _generate(self) -> None:
+        mt = self._mt
+        for i in range(_N):
+            y = (mt[i] & _UPPER_MASK) | (mt[(i + 1) % _N] & _LOWER_MASK)
+            value = mt[(i + _M) % _N] ^ (y >> 1)
+            if y & 1:
+                value ^= _MATRIX_A
+            mt[i] = value
+        self._index = 0
+
+    def next_uint32(self) -> int:
+        """Next raw 32-bit output (``genrand_int32``)."""
+        if self._index >= _N:
+            self._generate()
+        y = self._mt[self._index]
+        self._index += 1
+        y ^= y >> 11
+        y ^= (y << 7) & 0x9D2C5680
+        y ^= (y << 15) & 0xEFC60000
+        y ^= y >> 18
+        return y & _MASK32
+
+    def next_uint64(self) -> int:
+        """Two 32-bit draws glued into a 64-bit value (high word first)."""
+        high = self.next_uint32()
+        return (high << 32) | self.next_uint32()
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling.
+
+        Rejection keeps the distribution exactly uniform, which matters
+        for the unbiased Fisher-Yates shuffle used to draw permutations.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        if bound > (1 << 32):
+            raise ValueError(f"bound too large for a 32-bit draw: {bound}")
+        # Largest multiple of `bound` not exceeding 2**32.
+        limit = (1 << 32) - ((1 << 32) % bound)
+        while True:
+            draw = self.next_uint32()
+            if draw < limit:
+                return draw % bound
+
+    def random(self) -> float:
+        """Float in [0, 1) with 32 bits of precision (``genrand_real2``)."""
+        return self.next_uint32() / 4294967296.0
+
+    def shuffle(self, items: list) -> None:
+        """In-place unbiased Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_below(i + 1)
+            items[i], items[j] = items[j], items[i]

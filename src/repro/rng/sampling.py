@@ -1,0 +1,64 @@
+"""Sampling of random permutations and circuits.
+
+The paper's random-permutation experiment (Section 4.1) draws uniformly
+distributed permutations with the Mersenne twister; we reproduce this
+with an unbiased Fisher-Yates shuffle over ``range(2**n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import packed
+from repro.core.circuit import Circuit
+from repro.core.gates import all_gates
+from repro.core.permutation import Permutation
+from repro.rng.mt19937 import MersenneTwister
+
+
+class PermutationSampler:
+    """Uniform sampler of n-bit reversible functions.
+
+    Args:
+        n_wires: Wire count (2..4).
+        seed: Mersenne-twister seed (reproducible by default).
+    """
+
+    def __init__(self, n_wires: int, seed: int = 5489):
+        self.n_wires = n_wires
+        self.rng = MersenneTwister(seed)
+
+    def shuffle(self, items: list) -> None:
+        """Expose the underlying shuffle (duck-typed ``random.Random``)."""
+        self.rng.shuffle(items)
+
+    def sample(self) -> Permutation:
+        """One uniformly random permutation."""
+        return Permutation.random(self.n_wires, self.rng)
+
+    def sample_word(self) -> int:
+        """One uniformly random packed word."""
+        return packed.random_word(self.n_wires, self.rng)
+
+    def sample_words(self, count: int) -> np.ndarray:
+        """Array of ``count`` random packed words."""
+        return np.fromiter(
+            (self.sample_word() for _ in range(count)),
+            dtype=np.uint64,
+            count=count,
+        )
+
+
+def random_circuit(
+    n_wires: int, n_gates: int, rng: "MersenneTwister | None" = None
+) -> Circuit:
+    """A circuit of ``n_gates`` gates drawn uniformly from the NCT library.
+
+    Useful for generating peephole-optimization inputs and for the
+    hard-permutation extension search (Section 4.5).
+    """
+    if rng is None:
+        rng = MersenneTwister()
+    library = all_gates(n_wires)
+    gates = tuple(library[rng.next_below(len(library))] for _ in range(n_gates))
+    return Circuit(gates=gates, n_wires=n_wires)

@@ -1,0 +1,19 @@
+"""SAT subsystem: a CDCL solver and an exact-synthesis encoding.
+
+Reproduces the Große et al. comparison of the paper's Section 2: exact
+SAT-based Toffoli-network synthesis works but scales poorly, while the
+search-and-lookup algorithm answers the same queries in microseconds.
+"""
+
+from repro.sat.cnf import CNF, Literal
+from repro.sat.solver import SatResult, Solver
+from repro.sat.synth import sat_synthesize, sat_synthesize_fixed_size
+
+__all__ = [
+    "CNF",
+    "Literal",
+    "Solver",
+    "SatResult",
+    "sat_synthesize",
+    "sat_synthesize_fixed_size",
+]

@@ -1,0 +1,85 @@
+"""SAT-based exact synthesis by iterative deepening.
+
+The provably-optimal-but-slow baseline: ask the CDCL solver for a
+0-gate circuit, then 1, 2, ... until satisfiable.  The first SAT depth
+is the optimal size (the encoding is exact).  The paper's Table 6 notes
+that Große et al. needed 21,897 seconds for ``hwb4`` this way -- the
+same function its search-and-lookup answers in ~1e-4 s -- and our
+benchmarks reproduce that cliff in miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+from repro.errors import SynthesisError, UnsatisfiableError
+from repro.sat.encoding import encode_synthesis
+from repro.sat.solver import Solver
+
+
+@dataclass(frozen=True)
+class SatSynthesisResult:
+    """Outcome of a SAT synthesis run.
+
+    Attributes:
+        circuit: The optimal circuit.
+        depths_tried: How many UNSAT depths preceded the SAT one.
+        total_conflicts: Conflicts summed over all depths.
+    """
+
+    circuit: Circuit
+    depths_tried: int
+    total_conflicts: int
+
+
+def sat_synthesize_fixed_size(
+    spec, n_gates: int, conflict_budget: "int | None" = None
+) -> Circuit:
+    """A circuit with exactly ``n_gates`` gates, or raise
+    :class:`UnsatisfiableError` when none exists (or the budget runs out).
+    """
+    perm = Permutation.coerce(spec)
+    encoding = encode_synthesis(perm, n_gates)
+    result = Solver(encoding.cnf.n_vars, encoding.cnf.clauses).solve(
+        conflict_budget
+    )
+    if not result.satisfiable:
+        raise UnsatisfiableError(
+            f"no {n_gates}-gate circuit (or conflict budget exhausted)"
+        )
+    circuit = encoding.decode(result.model)
+    if not circuit.implements(perm):
+        raise AssertionError("SAT model decodes to an incorrect circuit")
+    return circuit
+
+
+def sat_synthesize(
+    spec, max_gates: int = 8, conflict_budget_per_depth: "int | None" = None
+) -> SatSynthesisResult:
+    """Iterative-deepening exact synthesis (optimal but slow).
+
+    Raises :class:`SynthesisError` when no circuit of <= ``max_gates``
+    gates is found.
+    """
+    perm = Permutation.coerce(spec)
+    total_conflicts = 0
+    for depth in range(max_gates + 1):
+        encoding = encode_synthesis(perm, depth)
+        result = Solver(encoding.cnf.n_vars, encoding.cnf.clauses).solve(
+            conflict_budget_per_depth
+        )
+        total_conflicts += result.conflicts
+        if result.satisfiable:
+            circuit = encoding.decode(result.model)
+            if not circuit.implements(perm):
+                raise AssertionError("SAT model decodes to an incorrect circuit")
+            return SatSynthesisResult(
+                circuit=circuit,
+                depths_tried=depth,
+                total_conflicts=total_conflicts,
+            )
+    raise SynthesisError(
+        f"no circuit with at most {max_gates} gates found by SAT search"
+    )

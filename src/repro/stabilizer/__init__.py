@@ -1,0 +1,18 @@
+"""Stabilizer-circuit synthesis (the paper's Section 5 future work).
+
+"Extending techniques reported in this paper to the synthesis of optimal
+stabilizer circuits ... may become a very useful tool in optimizing
+error correction circuits."  This subpackage takes the first concrete
+steps: a from-scratch symplectic tableau representation of Clifford
+operators (à la Aaronson–Gottesman, the paper's reference [1]) and an
+exhaustive breadth-first synthesis of *optimal* Clifford circuits over
+the {H, S, S†, CNOT} generator set for one and two qubits.
+"""
+
+from repro.stabilizer.tableau import CliffordTableau
+from repro.stabilizer.synthesis import (
+    CliffordSynthesizer,
+    clifford_group_size,
+)
+
+__all__ = ["CliffordTableau", "CliffordSynthesizer", "clifford_group_size"]

@@ -1,0 +1,12 @@
+"""Synthesis engines: optimal search, database construction, baselines."""
+
+from repro.synth.database import OptimalDatabase
+from repro.synth.search import MeetInTheMiddleSearch, peel_minimal_circuit
+from repro.synth.synthesizer import OptimalSynthesizer
+
+__all__ = [
+    "OptimalDatabase",
+    "MeetInTheMiddleSearch",
+    "OptimalSynthesizer",
+    "peel_minimal_circuit",
+]

@@ -1,0 +1,148 @@
+"""The optimal-circuit database: canonical representatives with sizes.
+
+This is the central data structure of the paper: a hash table mapping the
+canonical representative of every equivalence class of size <= k to its
+optimal circuit size.  The paper additionally stores one witness gate per
+representative; we instead reconstruct circuits by *peeling* (testing all
+32 gates for one that reduces the size by one), which needs no witness
+storage and has the same asymptotic cost -- see DESIGN.md.  The scalar
+reference engine in :mod:`repro.synth.bfs` stores witnesses exactly as the
+paper does, and the tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import equivalence, packed
+from repro.core.gates import Gate, all_gates
+from repro.core.packed_np import canonical_np, class_sizes_np
+from repro.errors import DatabaseError
+from repro.hashing.table import LinearProbingTable
+
+
+@dataclass
+class OptimalDatabase:
+    """Canonical representatives of all classes of size <= k, with sizes.
+
+    Attributes:
+        n_wires: Wire count the database was built for.
+        k: Maximum circuit size stored.
+        table: Linear-probing map: canonical packed word -> size.
+        reps_by_size: ``reps_by_size[s]`` is the sorted array of canonical
+            representatives whose optimal size is exactly ``s``.
+    """
+
+    n_wires: int
+    k: int
+    table: LinearProbingTable
+    reps_by_size: list[np.ndarray] = field(default_factory=list)
+
+    MISSING = 255
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def size_of(self, word: int) -> "int | None":
+        """Optimal size of the function ``word`` if it is <= k, else None."""
+        canon = equivalence.canonical(word, self.n_wires)
+        return self.table.get(canon)
+
+    def size_of_canonical(self, canon: int) -> "int | None":
+        """Size lookup for an already-canonical word (no canonicalization)."""
+        return self.table.get(canon)
+
+    def sizes_batch(
+        self, words: np.ndarray, assume_canonical: bool = False
+    ) -> np.ndarray:
+        """Vectorized size lookup; ``MISSING`` (255) marks absent classes."""
+        words = np.asarray(words, dtype=np.uint64)
+        if not assume_canonical:
+            words = canonical_np(words, self.n_wires)
+        return self.table.lookup_batch(words)
+
+    def __contains__(self, word: int) -> bool:
+        return self.size_of(word) is not None
+
+    # ------------------------------------------------------------------
+    # Distribution accounting (Table 4)
+    # ------------------------------------------------------------------
+    def reduced_counts(self) -> list[int]:
+        """Number of equivalence classes per size (Table 4, right column)."""
+        return [int(reps.shape[0]) for reps in self.reps_by_size]
+
+    def function_counts(self) -> list[int]:
+        """Number of *functions* per size (Table 4, middle column).
+
+        Computed by summing equivalence-class sizes over the stored
+        canonical representatives.
+        """
+        return [
+            int(class_sizes_np(reps, self.n_wires).sum())
+            for reps in self.reps_by_size
+        ]
+
+    def total_functions(self) -> int:
+        """Total functions of size <= k."""
+        return sum(self.function_counts())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Serialize to an ``.npz`` file (representatives per size)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            f"reps_{size}": reps for size, reps in enumerate(self.reps_by_size)
+        }
+        arrays["meta"] = np.array([self.n_wires, self.k], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def load(path: "str | Path") -> "OptimalDatabase":
+        """Load a database previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise DatabaseError(f"database file not found: {path}")
+        with np.load(path) as data:
+            n_wires, k = (int(v) for v in data["meta"])
+            reps_by_size = [
+                data[f"reps_{size}"].astype(np.uint64) for size in range(k + 1)
+            ]
+        return OptimalDatabase.from_reps(n_wires, k, reps_by_size)
+
+    @staticmethod
+    def from_reps(
+        n_wires: int, k: int, reps_by_size: list[np.ndarray]
+    ) -> "OptimalDatabase":
+        """Rebuild the hash table from per-size representative arrays."""
+        total = sum(int(r.shape[0]) for r in reps_by_size)
+        bits = max(8, int(total * 1.7 - 1).bit_length())
+        table = LinearProbingTable(capacity_bits=bits)
+        for size, reps in enumerate(reps_by_size):
+            table.insert_batch(reps, np.uint8(size))
+        return OptimalDatabase(
+            n_wires=n_wires, k=k, table=table, reps_by_size=list(reps_by_size)
+        )
+
+    # ------------------------------------------------------------------
+    # Circuit reconstruction by peeling
+    # ------------------------------------------------------------------
+    def peel_last_gate(self, word: int, size: int) -> "tuple[Gate, int]":
+        """Find a gate λ that is the last gate of some minimal circuit for
+        ``word``; return ``(λ, rest)`` with ``rest`` = the word with λ
+        removed (so ``size(rest) == size - 1``).
+        """
+        for gate in all_gates(self.n_wires):
+            gate_word = gate.to_word(self.n_wires)
+            rest = packed.compose(word, gate_word, self.n_wires)
+            if self.size_of(rest) == size - 1:
+                return gate, rest
+        raise DatabaseError(
+            f"no peelable gate found for word {word:#x} at size {size}; "
+            "the database is inconsistent"
+        )

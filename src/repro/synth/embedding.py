@@ -1,0 +1,280 @@
+"""Synthesis of partially-specified (don't-care) reversible functions.
+
+Benchmark functions like ``rd32`` arise by *embedding* an irreversible
+Boolean function into a permutation: constant input lines are fixed,
+garbage outputs are unconstrained, and every unconstrained row is a
+don't-care.  The choice of completion strongly affects the optimal gate
+count, so a synthesis tool must search over completions -- exactly what
+this module does on top of the optimal synthesizer.
+
+Two regimes:
+
+* **Exhaustive** -- with ``t`` unspecified rows there are ``t!``
+  completions; for ``t! <= exhaustive_limit`` all of them are sized and
+  a provably minimal-over-completions circuit is returned.
+* **Sampled** -- beyond that, random completions are drawn (seeded,
+  reproducible) and the best found is returned, flagged as a bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+from repro.errors import SizeLimitExceededError, SynthesisError
+from repro.rng.mt19937 import MersenneTwister
+
+
+@dataclass(frozen=True)
+class PartialSpec:
+    """A partially specified reversible function.
+
+    Attributes:
+        outputs: Length-``2^n`` sequence; entry ``x`` is the required
+            output for input ``x``, or ``None`` for a don't-care row.
+        n_wires: Wire count.
+    """
+
+    outputs: tuple
+    n_wires: int
+
+    def __post_init__(self):
+        size = 1 << self.n_wires
+        if len(self.outputs) != size:
+            raise SynthesisError(
+                f"partial spec needs {size} rows, got {len(self.outputs)}"
+            )
+        fixed = [v for v in self.outputs if v is not None]
+        if len(set(fixed)) != len(fixed):
+            raise SynthesisError("specified outputs repeat a value")
+        if any(not 0 <= v < size for v in fixed):
+            raise SynthesisError("specified output out of range")
+
+    @property
+    def free_inputs(self) -> list[int]:
+        """Input rows whose output is unconstrained."""
+        return [x for x, v in enumerate(self.outputs) if v is None]
+
+    @property
+    def free_outputs(self) -> list[int]:
+        """Output values not used by any specified row."""
+        used = {v for v in self.outputs if v is not None}
+        return [v for v in range(1 << self.n_wires) if v not in used]
+
+    def n_completions(self) -> int:
+        """Number of permutations consistent with the spec (t!)."""
+        import math
+
+        return math.factorial(len(self.free_inputs))
+
+    def complete(self, assignment: "list[int]") -> Permutation:
+        """The permutation with free rows filled by ``assignment``."""
+        values = list(self.outputs)
+        for row, value in zip(self.free_inputs, assignment):
+            values[row] = value
+        return Permutation.from_values(values)
+
+    def completions(self):
+        """Iterate over all consistent permutations (t! of them)."""
+        for assignment in permutations(self.free_outputs):
+            yield self.complete(list(assignment))
+
+    def matches(self, perm: Permutation) -> bool:
+        """True iff ``perm`` agrees with every specified row."""
+        return all(
+            v is None or perm(x) == v for x, v in enumerate(self.outputs)
+        )
+
+
+@dataclass(frozen=True)
+class EmbeddingResult:
+    """Outcome of a don't-care synthesis run.
+
+    Attributes:
+        circuit: The best circuit found.
+        permutation: The completion it implements.
+        size: Its gate count.
+        exhaustive: True when every completion was sized (so ``size`` is
+            the true optimum over don't-cares), False for sampled runs.
+        completions_tried: How many completions were evaluated.
+    """
+
+    circuit: Circuit
+    permutation: Permutation
+    size: int
+    exhaustive: bool
+    completions_tried: int
+
+
+def synthesize_partial(
+    spec: PartialSpec,
+    synthesizer,
+    exhaustive_limit: int = 5040,
+    samples: int = 200,
+    seed: int = 5489,
+    extra_candidates: "list[Permutation] | None" = None,
+) -> EmbeddingResult:
+    """Minimal circuit over all completions of a partial specification.
+
+    ``synthesizer`` is an :class:`repro.synth.OptimalSynthesizer` (or
+    anything with ``size_or_bound``, ``synthesize`` and ``database``).
+    Completions beyond the synthesizer's reach L are skipped (they
+    cannot beat an in-reach optimum unless everything is out of reach,
+    in which case ``SynthesisError`` is raised).
+
+    ``extra_candidates`` lets callers seed structurally informed
+    completions (e.g. the natural reversible extension of a Boolean
+    function) that uniform sampling of a huge ``t!`` space would miss;
+    candidates inconsistent with the spec are rejected.
+    """
+    best_perm = None
+    best_size = None
+    tried = 0
+    exhaustive = spec.n_completions() <= exhaustive_limit
+    if exhaustive:
+        candidates = list(spec.completions())
+    else:
+        candidates = list(_sampled_completions(spec, samples, seed))
+    for candidate in extra_candidates or []:
+        if not spec.matches(candidate):
+            raise SynthesisError(
+                "extra candidate contradicts the partial specification"
+            )
+        candidates.insert(0, candidate)
+
+    # Pass 1: the O(µs) database fast path.  If any completion has size
+    # <= k this finds the true minimum over the candidate set (skipped
+    # completions all have size > k >= best).
+    database = getattr(synthesizer, "database", None)
+    deferred = []
+    for perm in candidates:
+        tried += 1
+        size = database.size_of(perm.word) if database is not None else None
+        if size is None:
+            deferred.append(perm)
+            continue
+        if best_size is None or size < best_size:
+            best_perm, best_size = perm, size
+            if size == 0:
+                break
+    # Pass 2 (only when nothing was within the fast path): full
+    # meet-in-the-middle queries on a bounded number of completions.
+    if best_perm is None:
+        for perm in deferred[: max(1, samples // 10)]:
+            size, exact = synthesizer.size_or_bound(perm)
+            if not exact:
+                continue
+            if best_size is None or size < best_size:
+                best_perm, best_size = perm, size
+    if best_perm is None:
+        raise SynthesisError(
+            "every evaluated completion exceeds the synthesizer's reach; "
+            "raise k or max_list_size"
+        )
+    circuit = synthesizer.synthesize(best_perm)
+    if not spec.matches(best_perm) or not circuit.implements(best_perm):
+        raise AssertionError("embedding produced an inconsistent result")
+    return EmbeddingResult(
+        circuit=circuit,
+        permutation=best_perm,
+        size=best_size,
+        exhaustive=exhaustive,
+        completions_tried=tried,
+    )
+
+
+def _sampled_completions(spec: PartialSpec, samples: int, seed: int):
+    rng = MersenneTwister(seed)
+    free_outputs = spec.free_outputs
+    for _ in range(samples):
+        assignment = list(free_outputs)
+        rng.shuffle(assignment)
+        yield spec.complete(assignment)
+
+
+def natural_reversible_extension(
+    truth_table: "list[int]", n_inputs: int, n_wires: int = 4
+) -> Permutation:
+    """The canonical completion: y = x ⊕ (f(inputs) << out_wire).
+
+    Applying the output-XOR update on *every* row (regardless of the
+    constant wires' values) is always a bijection, and for structured
+    functions it is often the optimal completion -- e.g. AND's natural
+    extension is exactly the Toffoli gate.
+    """
+    if len(truth_table) != 1 << n_inputs:
+        raise SynthesisError("truth table length does not match n_inputs")
+    if n_inputs >= n_wires:
+        raise SynthesisError("need at least one output wire")
+    out_wire = n_wires - 1
+    input_mask = (1 << n_inputs) - 1
+    values = [
+        x ^ ((truth_table[x & input_mask] & 1) << out_wire)
+        for x in range(1 << n_wires)
+    ]
+    return Permutation.from_values(values)
+
+
+def synthesize_boolean_embedding(
+    truth_table: "list[int]",
+    n_inputs: int,
+    synthesizer,
+    n_wires: int = 4,
+    samples: int = 60,
+    seed: int = 5489,
+) -> EmbeddingResult:
+    """End-to-end irreversible synthesis: embed, seed the natural
+    extension, and search completions for the best circuit."""
+    spec = embed_boolean_function(truth_table, n_inputs, n_wires)
+    natural = natural_reversible_extension(truth_table, n_inputs, n_wires)
+    extras = [natural] if spec.matches(natural) else []
+    return synthesize_partial(
+        spec,
+        synthesizer,
+        samples=samples,
+        seed=seed,
+        extra_candidates=extras,
+    )
+
+
+def embed_boolean_function(
+    truth_table: "list[int]",
+    n_inputs: int,
+    n_wires: int = 4,
+    constant_value: int = 0,
+) -> PartialSpec:
+    """Embed an irreversible single-output Boolean function.
+
+    The function's ``n_inputs`` variables ride on wires ``0..n_inputs-1``;
+    the output replaces the top wire (``n_wires - 1``), which enters as
+    the constant ``constant_value``; any middle wires are constant-0
+    inputs with garbage outputs.  Rows whose constant inputs are not at
+    their required values are don't-cares, as are all garbage bits --
+    the classic embedding that turns e.g. AND into a Toffoli.
+    """
+    if len(truth_table) != 1 << n_inputs:
+        raise SynthesisError("truth table length does not match n_inputs")
+    if n_inputs >= n_wires:
+        raise SynthesisError("need at least one output/ancilla wire")
+    size = 1 << n_wires
+    out_wire = n_wires - 1
+    outputs: list = [None] * size
+    used = set()
+    for assignment in range(1 << n_inputs):
+        x = assignment | (constant_value << out_wire)
+        f_value = truth_table[assignment] & 1
+        # Inputs pass through; the out wire carries f; middle wires are
+        # garbage -- choose the lexicographically first unused completion
+        # consistent with (inputs, f) to keep the row specified-but-
+        # deterministic on the non-garbage bits.
+        for garbage in range(1 << (n_wires - n_inputs - 1)):
+            y = assignment | (garbage << n_inputs) | (f_value << out_wire)
+            if y not in used:
+                outputs[x] = y
+                used.add(y)
+                break
+        else:
+            raise SynthesisError("embedding ran out of output codes")
+    return PartialSpec(outputs=tuple(outputs), n_wires=n_wires)

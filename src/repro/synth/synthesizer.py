@@ -1,0 +1,177 @@
+"""High-level facade: build/load the database and synthesize circuits.
+
+Typical use::
+
+    from repro import Permutation
+    from repro.synth import OptimalSynthesizer
+
+    synth = OptimalSynthesizer(n_wires=4, k=6, max_list_size=4)
+    synth.prepare()                       # builds or loads the BFS database
+    circuit = synth.synthesize("[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]")
+    print(circuit)                        # TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)
+
+The synthesizer is exact: every returned circuit is provably minimal in
+gate count, and a :class:`repro.errors.SizeLimitExceededError` carries a
+proven lower bound when a function is out of reach of the configured
+``L = k + max_list_size``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+from repro.errors import DatabaseError
+from repro.synth.bfs import build_database
+from repro.synth.database import OptimalDatabase
+from repro.synth.search import MeetInTheMiddleSearch, SearchOutcome
+
+
+def default_cache_dir() -> Path:
+    """Database cache directory (override with ``REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-optimal4"
+
+
+class OptimalSynthesizer:
+    """Exact synthesizer for n-bit reversible functions (n <= 4).
+
+    Args:
+        n_wires: Wire count.
+        k: BFS database depth (paper used 9; 5-6 is practical here).
+        max_list_size: Depth m of the lists A_i; reachable size is
+            ``L = k + m``.  Defaults to ``min(k, 3)`` -- raise it for
+            deeper searches at the cost of per-query scan time.
+        cache_dir: Where to persist the database (None = default cache,
+            False = never persist).
+        verbose: Print progress while building.
+    """
+
+    def __init__(
+        self,
+        n_wires: int = 4,
+        k: int = 6,
+        max_list_size: "int | None" = None,
+        cache_dir=None,
+        verbose: bool = False,
+    ):
+        if max_list_size is None:
+            max_list_size = min(k, 3)
+        if max_list_size > k:
+            raise DatabaseError(
+                f"max_list_size ({max_list_size}) cannot exceed k ({k})"
+            )
+        self.n_wires = n_wires
+        self.k = k
+        self.max_list_size = max_list_size
+        self.verbose = verbose
+        if cache_dir is False:
+            self.cache_path = None
+        else:
+            base = Path(cache_dir) if cache_dir else default_cache_dir()
+            self.cache_path = base / f"db-n{n_wires}-k{k}.npz"
+        self._db: "OptimalDatabase | None" = None
+        self._search: "MeetInTheMiddleSearch | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self, force_rebuild: bool = False) -> "OptimalSynthesizer":
+        """Build or load the database and materialize the search lists."""
+        if self._search is not None and not force_rebuild:
+            return self
+        db = None
+        if not force_rebuild and self.cache_path and self.cache_path.exists():
+            self._log(f"loading database from {self.cache_path}")
+            db = OptimalDatabase.load(self.cache_path)
+            if db.n_wires != self.n_wires or db.k < self.k:
+                db = None
+        if db is None:
+            self._log(f"building database: n={self.n_wires}, k={self.k}")
+            start = time.perf_counter()
+            db = build_database(
+                self.n_wires,
+                self.k,
+                progress=self._progress if self.verbose else None,
+            )
+            self._log(f"built in {time.perf_counter() - start:.1f}s")
+            if self.cache_path:
+                db.save(self.cache_path)
+                self._log(f"saved to {self.cache_path}")
+        self._db = db
+        self._log(f"building lists A_1..A_{self.max_list_size}")
+        lists = MeetInTheMiddleSearch.build_lists(db, self.max_list_size)
+        self._search = MeetInTheMiddleSearch(db, lists)
+        return self
+
+    @property
+    def database(self) -> OptimalDatabase:
+        """The underlying BFS database (prepares on first use)."""
+        self.prepare()
+        return self._db
+
+    @property
+    def search_engine(self) -> MeetInTheMiddleSearch:
+        """The underlying meet-in-the-middle engine (prepares on first use)."""
+        self.prepare()
+        return self._search
+
+    @property
+    def max_size(self) -> int:
+        """Largest optimal size reachable: L = k + max_list_size."""
+        return self.k + self.max_list_size
+
+    # ------------------------------------------------------------------
+    # Synthesis API
+    # ------------------------------------------------------------------
+    def synthesize(self, spec) -> Circuit:
+        """A provably gate-count-minimal circuit for ``spec``.
+
+        ``spec`` may be a :class:`Permutation`, a spec string like
+        ``"[0,2,1,3,...]"``, a value sequence, or a packed word.
+        """
+        perm = Permutation.coerce(spec, self.n_wires)
+        return self.search_engine.minimal_circuit(perm.word)
+
+    def search(self, spec) -> SearchOutcome:
+        """Synthesize and also report search statistics."""
+        perm = Permutation.coerce(spec, self.n_wires)
+        return self.search_engine.search(perm.word)
+
+    def size(self, spec) -> int:
+        """The optimal gate count of ``spec`` (no circuit reconstruction)."""
+        perm = Permutation.coerce(spec, self.n_wires)
+        return self.search_engine.size_of(perm.word)
+
+    def size_or_bound(self, spec) -> tuple[int, bool]:
+        """``(value, exact)``: the optimal size when reachable
+        (exact=True), else a proven lower bound (exact=False)."""
+        from repro.errors import SizeLimitExceededError
+
+        perm = Permutation.coerce(spec, self.n_wires)
+        try:
+            return self.search_engine.size_of(perm.word), True
+        except SizeLimitExceededError as exc:
+            return exc.lower_bound, False
+
+    def verify(self, circuit: Circuit, spec) -> bool:
+        """Check that a circuit implements a specification."""
+        perm = Permutation.coerce(spec, self.n_wires)
+        return circuit.implements(perm)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _progress(self, level: int, count: int) -> None:
+        self._log(f"  size {level}: {count} new classes")
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[repro] {message}", flush=True)

@@ -1,0 +1,172 @@
+"""Tests for the analysis subsystem (distributions, estimates, hard search)."""
+
+import pytest
+
+from repro.analysis.distribution import (
+    SizeDistribution,
+    chi_squared_uniformity,
+    sample_distribution,
+)
+from repro.analysis.estimates import (
+    PAPER_TABLE4_FUNCTIONS,
+    PAPER_TABLE4_REDUCED,
+    estimate_total_counts,
+    exact_distribution_3bit,
+    group_order,
+    validate_estimator_on_3bit,
+)
+from repro.analysis.hard import extension_search, full_enumeration
+
+
+class TestSizeDistribution:
+    def test_add_and_totals(self):
+        dist = SizeDistribution(bound=7)
+        for size in [3, 3, 5, 7]:
+            dist.add(size)
+        dist.add_censored()
+        assert dist.total == 5
+        assert dist.observed == 4
+        assert dist.counts[3] == 2
+
+    def test_weighted_average(self):
+        dist = SizeDistribution()
+        for size in [2, 4]:
+            dist.add(size)
+        assert dist.weighted_average() == 3.0
+
+    def test_weighted_average_bounds(self):
+        dist = SizeDistribution(bound=10)
+        dist.add(10)
+        dist.add_censored()
+        low, high = dist.weighted_average_bounds(max_conceivable=17)
+        assert low == pytest.approx((10 + 11) / 2)
+        assert high == pytest.approx((10 + 17) / 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SizeDistribution().weighted_average()
+
+    def test_format_table(self):
+        dist = SizeDistribution(bound=9)
+        dist.add(5)
+        dist.add_censored()
+        text = dist.format_table()
+        assert ">9" in text and "5" in text
+
+    def test_merge(self):
+        a = SizeDistribution(bound=9)
+        a.add(2)
+        b = SizeDistribution(bound=9)
+        b.add(2)
+        b.add(4)
+        b.add_censored()
+        merged = a.merge(b)
+        assert merged.counts[2] == 2
+        assert merged.censored == 1
+        with pytest.raises(ValueError):
+            a.merge(SizeDistribution(bound=5))
+
+    def test_fractions(self):
+        dist = SizeDistribution()
+        dist.add(1)
+        dist.add(1)
+        dist.add(0)
+        assert dist.fractions() == [pytest.approx(1 / 3), pytest.approx(2 / 3)]
+
+
+class TestSampling:
+    def test_sample_distribution_n3(self, engine3):
+        dist = sample_distribution(engine3, 40, seed=123, n_wires=3)
+        assert dist.total == 40
+        assert dist.censored == 0  # engine3 covers all of n = 3
+        assert dist.weighted_average() > 4
+
+    def test_sample_distribution_censoring(self, engine4_l7):
+        """Most random 4-bit functions exceed L = 7: censoring dominates."""
+        dist = sample_distribution(engine4_l7, 12, seed=5489, n_wires=4)
+        assert dist.total == 12
+        assert dist.censored > 0
+        assert dist.bound == 7
+
+    def test_progress_callback(self, engine3):
+        ticks = []
+        sample_distribution(
+            engine3, 50, n_wires=3, progress=lambda done, total: ticks.append(done)
+        )
+        assert ticks == [25, 50]
+
+
+class TestEstimates:
+    def test_group_order(self):
+        assert group_order(4) == PAPER_TABLE4_FUNCTIONS_TOTAL_CHECK()
+        assert group_order(3) == 40320
+
+    def test_exact_3bit_distribution(self):
+        counts = exact_distribution_3bit()
+        assert counts == [1, 12, 102, 625, 2780, 8921, 17049, 10253, 577]
+
+    def test_estimate_total_counts(self):
+        dist = SizeDistribution()
+        for _ in range(10):
+            dist.add(8)
+        estimates = dict(estimate_total_counts(dist, 3))
+        assert estimates[8] == pytest.approx(40320)
+
+    def test_estimator_validates_on_3bit(self):
+        validation = validate_estimator_on_3bit(
+            n_samples=3000, seed=5489, support_threshold=500
+        )
+        assert sum(validation.exact) == 40320
+        # Sizes with >= 500 functions are estimated within ~35% from a
+        # 3000-draw sample (rarer sizes are dominated by sampling noise,
+        # which is the same caveat the paper's Table 4 estimates carry).
+        assert validation.max_relative_error < 0.35
+
+    def test_paper_anchor_tables_are_consistent(self):
+        """Sanity on the transcribed Table 4 anchors: reduced counts are
+        about 1/46th of function counts for the bigger sizes."""
+        for size in range(3, 10):
+            ratio = PAPER_TABLE4_FUNCTIONS[size] / PAPER_TABLE4_REDUCED[size]
+            assert 35 < ratio < 48.5
+
+
+def PAPER_TABLE4_FUNCTIONS_TOTAL_CHECK():
+    import math
+
+    return math.factorial(16)
+
+
+class TestHardSearch:
+    def test_full_enumeration_n3(self):
+        result = full_enumeration(3)
+        assert result.max_size == 8
+        assert result.hardest_count == 577
+        assert sum(result.counts) == 40320
+
+    def test_full_enumeration_n2(self):
+        result = full_enumeration(2)
+        assert sum(result.counts) == 24
+
+    def test_extension_search_finds_harder(self, engine3, db3):
+        """Extending max-size-minus-one functions rediscover L(3)."""
+        seeds = db3.reps_by_size[7][:10].tolist()
+        result = extension_search(engine3, seeds, 3)
+        assert result.hardest_size == 8
+        assert not result.exceeded_bound
+        assert result.candidates_examined > 0
+        assert engine3.size_of(result.hardest_word) == 8
+
+    def test_extension_search_beyond_bound(self, engine4_l7, db4_k4):
+        """Extending size-4 functions on an L = 7 engine stays in reach;
+        the reported hardest size is ≤ 5 + proof machinery works."""
+        seeds = db4_k4.reps_by_size[4][:3].tolist()
+        result = extension_search(
+            engine4_l7, seeds, 4, max_candidates=40
+        )
+        assert result.candidates_examined == 40
+        assert 3 <= result.hardest_size <= 5
+
+    def test_chi_squared_helper(self):
+        assert chi_squared_uniformity([10, 10], [10.0, 10.0]) == 0.0
+        with pytest.raises(ValueError):
+            chi_squared_uniformity([1], [1.0, 2.0])

@@ -1,0 +1,108 @@
+"""Tests for the application layer (adder + peephole optimizer)."""
+
+import pytest
+
+from repro.apps.adder import (
+    full_adder_permutation,
+    optimal_adder_circuit,
+    suboptimal_adder_circuit,
+)
+from repro.apps.peephole import PeepholeOptimizer
+from repro.core.circuit import Circuit
+from repro.rng.mt19937 import MersenneTwister
+from repro.rng.sampling import random_circuit
+from repro.synth.synthesizer import OptimalSynthesizer
+
+
+@pytest.fixture(scope="module")
+def synth():
+    synthesizer = OptimalSynthesizer(k=4, max_list_size=3, cache_dir=False)
+    synthesizer.prepare()
+    return synthesizer
+
+
+class TestAdder:
+    def test_adder_is_rd32(self):
+        from repro.benchmarks_data import get_benchmark
+
+        assert full_adder_permutation() == get_benchmark("rd32").permutation()
+
+    def test_both_circuits_implement_adder(self):
+        spec = full_adder_permutation()
+        assert optimal_adder_circuit().implements(spec)
+        assert suboptimal_adder_circuit().implements(spec)
+
+    def test_optimal_is_smaller(self):
+        assert optimal_adder_circuit().gate_count == 4
+        assert suboptimal_adder_circuit().gate_count == 6
+
+    def test_four_gates_is_provably_optimal(self, synth):
+        assert synth.size(full_adder_permutation()) == 4
+
+    def test_adder_semantics(self):
+        """The adder really adds: sum/carry columns are correct."""
+        spec = full_adder_permutation()
+        for x in range(8):  # d = 0 ancilla
+            a, b, c = x & 1, (x >> 1) & 1, (x >> 2) & 1
+            y = spec(x)
+            assert (y >> 2) & 1 == (a + b + c) & 1  # sum
+            assert (y >> 3) & 1 == (a + b + c) >> 1  # carry
+
+
+class TestPeephole:
+    def test_optimizes_suboptimal_adder(self, synth):
+        optimizer = PeepholeOptimizer(synth)
+        report = optimizer.optimize(suboptimal_adder_circuit())
+        assert report.optimized.gate_count == 4
+        assert report.gates_saved == 2
+        assert report.optimized.implements(full_adder_permutation())
+
+    def test_cancelling_gates_removed(self, synth):
+        optimizer = PeepholeOptimizer(synth)
+        circuit = Circuit.parse("NOT(a) NOT(a) CNOT(a,b) CNOT(a,b)", 4)
+        report = optimizer.optimize(circuit)
+        assert report.optimized.gate_count == 0
+
+    def test_already_optimal_untouched(self, synth):
+        optimizer = PeepholeOptimizer(synth)
+        circuit = optimal_adder_circuit()
+        report = optimizer.optimize(circuit)
+        assert report.optimized.gate_count == 4
+
+    def test_preserves_function_on_wide_circuits(self, synth):
+        """6-wire circuits: windows are remapped through <= 4 wires."""
+        optimizer = PeepholeOptimizer(synth)
+        for seed in (1, 2, 3):
+            circuit = random_circuit(6, 25, MersenneTwister(seed))
+            report = optimizer.optimize(circuit)
+            assert report.optimized.truth_table() == circuit.truth_table()
+            assert report.optimized.gate_count <= circuit.gate_count
+
+    def test_usually_saves_gates_on_random_circuits(self, synth):
+        """Random 4-wire circuits of 20 gates compress (avg size is ~12)."""
+        optimizer = PeepholeOptimizer(synth)
+        saved = 0
+        for seed in range(5):
+            circuit = random_circuit(4, 20, MersenneTwister(seed))
+            report = optimizer.optimize(circuit)
+            saved += report.gates_saved
+        assert saved > 0
+
+    def test_report_counters(self, synth):
+        optimizer = PeepholeOptimizer(synth)
+        report = optimizer.optimize(suboptimal_adder_circuit())
+        assert report.windows_examined >= 1
+        assert report.windows_replaced >= 1
+        assert report.passes >= 1
+
+    def test_window_width_validation(self, synth):
+        with pytest.raises(ValueError):
+            PeepholeOptimizer(synth, window_wires=5)
+
+    def test_narrow_window(self, synth):
+        """window_wires=3: TOF4 gates pass through untouched."""
+        optimizer = PeepholeOptimizer(synth, window_wires=3)
+        circuit = Circuit.parse("TOF4(a,b,c,d) NOT(a) NOT(a)", 4)
+        report = optimizer.optimize(circuit)
+        assert report.optimized.to_word() == circuit.to_word()
+        assert report.optimized.gate_count == 1

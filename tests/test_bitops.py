@@ -1,0 +1,65 @@
+"""Unit tests for repro.core.bitops."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitops import (
+    bit,
+    flip_bit,
+    mask64,
+    permute_bits,
+    popcount,
+    set_bit,
+    swap_bits,
+)
+
+
+def test_popcount_small_values():
+    assert popcount(0) == 0
+    assert popcount(1) == 1
+    assert popcount(0b1011) == 3
+    assert popcount(0xFFFF_FFFF_FFFF_FFFF) == 64
+
+
+@given(st.integers(min_value=0, max_value=1 << 70))
+def test_popcount_matches_python(x):
+    assert popcount(x) == bin(x).count("1")
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1), st.integers(0, 63))
+def test_bit_get_set_flip(x, i):
+    assert bit(set_bit(x, i, 1), i) == 1
+    assert bit(set_bit(x, i, 0), i) == 0
+    assert flip_bit(flip_bit(x, i), i) == x
+    assert bit(flip_bit(x, i), i) == 1 - bit(x, i)
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(0, 63),
+    st.integers(0, 63),
+)
+def test_swap_bits_involution(x, i, j):
+    assert swap_bits(swap_bits(x, i, j), i, j) == x
+    assert bit(swap_bits(x, i, j), i) == bit(x, j)
+    assert bit(swap_bits(x, i, j), j) == bit(x, i)
+
+
+def test_permute_bits_identity_and_rotation():
+    assert permute_bits(0b0110, (0, 1, 2, 3)) == 0b0110
+    # Rotate all bits up one position.
+    assert permute_bits(0b0001, (1, 2, 3, 0)) == 0b0010
+    assert permute_bits(0b1000, (1, 2, 3, 0)) == 0b0001
+
+
+@given(st.integers(min_value=0, max_value=15))
+def test_permute_bits_roundtrip(x):
+    perm = (2, 0, 3, 1)
+    inverse = (1, 3, 0, 2)  # inverse permutation of `perm`
+    assert permute_bits(permute_bits(x, perm), inverse) == x
+
+
+def test_mask64_wraps():
+    assert mask64(1 << 64) == 0
+    assert mask64(-1) == (1 << 64) - 1
+    assert mask64(42) == 42

@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+
+class TestSynth:
+    def test_synth_shift4(self, capsys):
+        code = main(
+            [
+                "synth",
+                "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]",
+                "-k",
+                "3",
+                "--lists",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)" in out
+        assert "4 gates" in out
+
+    def test_synth_out_of_reach(self, capsys):
+        code = main(
+            [
+                "synth",
+                "[0,2,4,12,8,5,9,11,1,6,10,13,3,14,7,15]",
+                "-k",
+                "3",
+                "--lists",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "lower bound" in capsys.readouterr().out
+
+    def test_synth_exports(self, capsys, tmp_path):
+        qasm_path = tmp_path / "c.qasm"
+        real_path = tmp_path / "c.real"
+        code = main(
+            [
+                "synth",
+                "[1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14]",
+                "-k",
+                "2",
+                "--lists",
+                "1",
+                "--qasm",
+                str(qasm_path),
+                "--real",
+                str(real_path),
+            ]
+        )
+        assert code == 0
+        assert "x q[0];" in qasm_path.read_text()
+        from repro.io.real_format import read_real
+
+        assert read_real(real_path).gate_count == 1
+
+    def test_synth_draw(self, capsys):
+        code = main(["synth", "[1,0,2,3]", "--wires", "2", "-k", "2",
+                     "--lists", "1", "--draw", "--no-cache"])
+        assert code == 0
+        assert "⊕" in capsys.readouterr().out
+
+    def test_bad_spec_reports_error(self, capsys):
+        code = main(["synth", "[0,0,1]", "-k", "2", "--lists", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_build_db(self, capsys):
+        code = main(["build-db", "-k", "2", "--lists", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[1, 4, 33]" in out
+        assert "Load Factor" in out
+
+    def test_linear_table(self, capsys):
+        code = main(["linear", "--wires", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total 1344" in out
+
+    def test_random(self, capsys):
+        code = main(["random", "6", "--wires", "3", "-k", "4", "--lists", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "average size" in out
+
+    def test_info(self, capsys):
+        code = main(["info"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache directory" in out
+
+    def test_peephole(self, capsys, tmp_path):
+        from repro.core.circuit import Circuit
+        from repro.io.real_format import read_real, write_real
+
+        source = tmp_path / "in.real"
+        target = tmp_path / "out.real"
+        circuit = Circuit.parse("NOT(a) NOT(a) CNOT(a,b)", 4)
+        write_real(circuit, source)
+        code = main(
+            ["peephole", str(source), "-o", str(target), "-k", "3",
+             "--lists", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 saved" in out
+        optimized = read_real(target)
+        assert optimized.gate_count == 1
+        assert optimized.truth_table() == circuit.truth_table()
+
+    def test_testgen(self, capsys, tmp_path):
+        target = tmp_path / "suite.txt"
+        code = main(
+            ["testgen", str(target), "--per-size", "2", "-k", "3",
+             "--lists", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6 cases" in out
+        from repro.analysis.testgen import TestSuite
+
+        suite = TestSuite.load(target)
+        assert len(suite.cases) == 6
+
+    def test_libraries(self, capsys):
+        code = main(["libraries"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NCTSF" in out and "NCP" in out
+
+    def test_clifford(self, capsys):
+        code = main(["clifford", "--qubits", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "24" in out

@@ -1,0 +1,47 @@
+"""Unit tests for repro.core.combinatorics (plain changes)."""
+
+import pytest
+
+from repro.core.combinatorics import (
+    arrangements_in_plain_changes_order,
+    compose_perms,
+    factorial,
+    invert_perm,
+    plain_changes,
+)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_plain_changes_length(n):
+    assert len(plain_changes(n)) == factorial(n) - 1
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_plain_changes_visits_every_permutation_once(n):
+    arrangements = arrangements_in_plain_changes_order(n)
+    assert len(arrangements) == factorial(n)
+    assert len(set(arrangements)) == factorial(n)
+    assert arrangements[0] == tuple(range(n))
+
+
+def test_plain_changes_swaps_are_adjacent():
+    for n in range(2, 6):
+        for pos in plain_changes(n):
+            assert 0 <= pos < n - 1
+
+
+def test_plain_changes_known_sequence_n3():
+    assert plain_changes(3) == [1, 0, 1, 0, 1]
+
+
+def test_compose_and_invert_perms():
+    p = (1, 2, 0)
+    q = (2, 0, 1)
+    assert compose_perms(p, q) == (0, 1, 2)  # q undoes p
+    assert invert_perm(p) == q
+    assert compose_perms(p, invert_perm(p)) == (0, 1, 2)
+
+
+def test_plain_changes_rejects_bad_input():
+    with pytest.raises(ValueError):
+        plain_changes(0)

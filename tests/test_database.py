@@ -1,0 +1,88 @@
+"""Tests for OptimalDatabase: lookups, persistence, peeling."""
+
+import numpy as np
+import pytest
+
+from repro.core import equivalence, packed
+from repro.errors import DatabaseError
+from repro.synth.database import OptimalDatabase
+
+
+class TestLookups:
+    def test_identity_size_zero(self, db4_k4):
+        assert db4_k4.size_of(packed.identity(4)) == 0
+
+    def test_gate_size_one(self, db4_k4):
+        from repro.core.gates import gate_words
+
+        for word in gate_words(4):
+            assert db4_k4.size_of(word) == 1
+
+    def test_size_lookup_entire_class(self, db4_k4, rng):
+        """Every member of a class gets the class size."""
+        for _ in range(10):
+            reps = db4_k4.reps_by_size[3]
+            word = int(reps[rng.randrange(len(reps))])
+            for member in equivalence.equivalence_class(word, 4):
+                assert db4_k4.size_of(member) == 3
+
+    def test_missing_beyond_k(self, db4_k4):
+        from repro.benchmarks_data import get_benchmark
+
+        hwb4 = get_benchmark("hwb4").permutation()  # size 11 > 4
+        assert db4_k4.size_of(hwb4.word) is None
+        assert hwb4.word not in db4_k4
+
+    def test_sizes_batch(self, db4_k4):
+        words = np.concatenate(
+            [db4_k4.reps_by_size[2][:10], db4_k4.reps_by_size[4][:10]]
+        )
+        sizes = db4_k4.sizes_batch(words, assume_canonical=True)
+        assert sizes[:10].tolist() == [2] * 10
+        assert sizes[10:].tolist() == [4] * 10
+
+    def test_sizes_batch_canonicalizes_by_default(self, db4_k4, rng):
+        word = int(db4_k4.reps_by_size[3][7])
+        member = sorted(equivalence.equivalence_class(word, 4))[-1]
+        sizes = db4_k4.sizes_batch(np.array([member], dtype=np.uint64))
+        assert sizes.tolist() == [3]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db4_k4, tmp_path):
+        path = tmp_path / "db.npz"
+        db4_k4.save(path)
+        loaded = OptimalDatabase.load(path)
+        assert loaded.n_wires == 4 and loaded.k == 4
+        assert loaded.reduced_counts() == db4_k4.reduced_counts()
+        for a, b in zip(loaded.reps_by_size, db4_k4.reps_by_size):
+            assert np.array_equal(a, b)
+        assert loaded.size_of(packed.identity(4)) == 0
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            OptimalDatabase.load(tmp_path / "nope.npz")
+
+    def test_save_creates_directories(self, db4_k4, tmp_path):
+        path = tmp_path / "deep" / "nested" / "db.npz"
+        db4_k4.save(path)
+        assert path.exists()
+
+
+class TestPeeling:
+    def test_peel_last_gate_reduces_size(self, db4_k4, rng):
+        for size in (2, 3, 4):
+            reps = db4_k4.reps_by_size[size]
+            for _ in range(5):
+                word = int(reps[rng.randrange(len(reps))])
+                gate, rest = db4_k4.peel_last_gate(word, size)
+                assert db4_k4.size_of(rest) == size - 1
+                # Appending the gate back reproduces the function.
+                assert packed.compose(rest, gate.to_word(4), 4) == word
+
+    def test_peel_inconsistent_raises(self, db4_k4):
+        from repro.benchmarks_data import get_benchmark
+
+        word = get_benchmark("hwb4").permutation().word
+        with pytest.raises(DatabaseError):
+            db4_k4.peel_last_gate(word, 1)

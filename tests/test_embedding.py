@@ -1,0 +1,177 @@
+"""Tests for don't-care/irreversible embedding synthesis."""
+
+import pytest
+
+from repro.core.permutation import Permutation
+from repro.errors import SynthesisError
+from repro.synth.embedding import (
+    EmbeddingResult,
+    PartialSpec,
+    embed_boolean_function,
+    natural_reversible_extension,
+    synthesize_boolean_embedding,
+    synthesize_partial,
+)
+from repro.synth.synthesizer import OptimalSynthesizer
+
+
+@pytest.fixture(scope="module")
+def synth():
+    synthesizer = OptimalSynthesizer(k=4, max_list_size=2, cache_dir=False)
+    synthesizer.prepare()
+    return synthesizer
+
+
+class TestPartialSpec:
+    def test_fully_specified(self):
+        spec = PartialSpec(outputs=tuple(range(16)), n_wires=4)
+        assert spec.free_inputs == []
+        assert spec.n_completions() == 1
+        assert list(spec.completions()) == [Permutation.identity(4)]
+
+    def test_free_rows_and_outputs(self):
+        outputs = list(range(16))
+        outputs[3] = None
+        outputs[7] = None
+        spec = PartialSpec(outputs=tuple(outputs), n_wires=4)
+        assert spec.free_inputs == [3, 7]
+        assert spec.free_outputs == [3, 7]
+        assert spec.n_completions() == 2
+
+    def test_completions_match_spec(self):
+        outputs = [None, None] + list(range(2, 16))
+        spec = PartialSpec(outputs=tuple(outputs), n_wires=4)
+        for perm in spec.completions():
+            assert spec.matches(perm)
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            PartialSpec(outputs=(0, 0, None, None), n_wires=2)
+        with pytest.raises(SynthesisError):
+            PartialSpec(outputs=(0, 9, None, None), n_wires=2)
+        with pytest.raises(SynthesisError):
+            PartialSpec(outputs=(0, 1, 2), n_wires=2)
+
+    def test_matches_rejects_wrong_fixed_row(self):
+        spec = PartialSpec(outputs=(0, None, None, 3), n_wires=2)
+        assert spec.matches(Permutation.identity(2))
+        swapped = Permutation.from_values([1, 0, 2, 3])
+        assert not spec.matches(swapped)
+
+
+class TestSynthesizePartial:
+    def test_fully_specified_equals_direct_synthesis(self, synth):
+        shift = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0]
+        spec = PartialSpec(outputs=tuple(shift), n_wires=4)
+        result = synthesize_partial(spec, synth)
+        assert result.size == 4
+        assert result.exhaustive
+        assert result.circuit.implements(Permutation.from_values(shift))
+
+    def test_dont_cares_can_only_help(self, synth):
+        """Freeing two rows of shift4 yields size <= 4."""
+        shift = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0]
+        outputs = list(shift)
+        outputs[0] = None
+        outputs[15] = None
+        spec = PartialSpec(outputs=tuple(outputs), n_wires=4)
+        result = synthesize_partial(spec, synth)
+        assert result.size <= 4
+        assert spec.matches(result.permutation)
+
+    def test_identity_with_free_rows_is_zero(self, synth):
+        outputs = list(range(16))
+        outputs[5] = None
+        outputs[9] = None
+        spec = PartialSpec(outputs=tuple(outputs), n_wires=4)
+        result = synthesize_partial(spec, synth)
+        assert result.size == 0
+
+    def test_and_embedding_is_single_toffoli(self, synth):
+        """AND(a, b) onto wire d: the natural reversible extension is
+        the Toffoli gate, so the optimum over don't-cares is 1 gate."""
+        result = synthesize_boolean_embedding(
+            [0, 0, 0, 1], n_inputs=2, synthesizer=synth
+        )
+        assert result.size == 1
+        assert str(result.circuit) == "TOF(a,b,d)"
+
+    def test_natural_extension_of_and_is_toffoli(self):
+        natural = natural_reversible_extension([0, 0, 0, 1], 2, 4)
+        from repro.core.gates import TOF
+
+        assert natural.word == TOF(0, 1, 3).to_word(4)
+
+    def test_xor_embedding_is_two_cnots(self, synth):
+        """XOR(a, b) onto wire d: two CNOTs."""
+        result = synthesize_boolean_embedding(
+            [0, 1, 1, 0], n_inputs=2, synthesizer=synth
+        )
+        assert result.size == 2
+        assert result.circuit.gate_count == 2
+
+    def test_majority_embedding(self, synth):
+        """MAJ(a, b, c) onto wire d embeds within a few gates."""
+        majority = [0, 0, 0, 1, 0, 1, 1, 1]
+        result = synthesize_boolean_embedding(
+            majority, n_inputs=3, synthesizer=synth
+        )
+        spec = embed_boolean_function(majority, n_inputs=3, n_wires=4)
+        assert spec.matches(result.permutation)
+        assert 1 <= result.size <= 4
+
+    def test_extra_candidate_must_match(self, synth):
+        spec = embed_boolean_function([0, 0, 0, 1], n_inputs=2, n_wires=4)
+        with pytest.raises(SynthesisError):
+            synthesize_partial(
+                spec, synth, extra_candidates=[Permutation.identity(4)]
+            )
+
+    def test_embedding_validation(self):
+        with pytest.raises(SynthesisError):
+            embed_boolean_function([0, 1], n_inputs=2)
+        with pytest.raises(SynthesisError):
+            embed_boolean_function(list(range(16)), n_inputs=4, n_wires=4)
+
+
+class TestQasmExport:
+    def test_basic_gates(self):
+        from repro.core.circuit import Circuit
+        from repro.io.qasm import to_qasm
+
+        circuit = Circuit.parse("NOT(a) CNOT(a,b) TOF(a,b,c)", 4)
+        qasm = to_qasm(circuit)
+        assert "OPENQASM 2.0;" in qasm
+        assert "x q[0];" in qasm
+        assert "cx q[0], q[1];" in qasm
+        assert "ccx q[0], q[1], q[2];" in qasm
+        assert "qreg q[4];" in qasm
+
+    def test_c3x_mode(self):
+        from repro.core.circuit import Circuit
+        from repro.io.qasm import to_qasm
+
+        circuit = Circuit.parse("TOF4(a,b,c,d)", 4)
+        qasm = to_qasm(circuit, allow_c3x=True)
+        assert "c3x q[0], q[1], q[2], q[3];" in qasm
+        assert "qreg q[4];" in qasm
+
+    def test_tof4_ancilla_decomposition(self):
+        from repro.core.circuit import Circuit
+        from repro.io.qasm import to_qasm
+
+        circuit = Circuit.parse("TOF4(a,b,c,d)", 4)
+        qasm = to_qasm(circuit, allow_c3x=False)
+        assert "qreg q[5];" in qasm  # one ancilla appended
+        assert qasm.count("ccx") == 3
+        assert "c3x" not in qasm
+
+    def test_write_and_comment(self, tmp_path):
+        from repro.core.circuit import Circuit
+        from repro.io.qasm import write_qasm
+
+        path = tmp_path / "c.qasm"
+        write_qasm(Circuit.parse("NOT(a)", 4), path, comment="hello")
+        text = path.read_text()
+        assert text.startswith("// hello")
+        assert text.endswith("x q[0];\n")

@@ -1,0 +1,114 @@
+"""Tests for the equivalence-class machinery (paper §3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import equivalence, packed
+from repro.core.combinatorics import factorial
+from repro.core.gates import gate_words
+
+
+def perm_words(n_wires):
+    size = 1 << n_wires
+    return st.permutations(list(range(size))).map(packed.pack)
+
+
+class TestConjugates:
+    @given(perm_words(4))
+    def test_conjugates_count(self, word):
+        conj = equivalence.conjugates(word, 4)
+        assert len(conj) == factorial(4)
+        assert conj[0] == word
+
+    @given(perm_words(4))
+    @settings(deadline=None)
+    def test_conjugates_match_wire_perm_reference(self, word):
+        """The plain-changes walk produces exactly the set of conjugates
+        by all 24 wire permutations (slow reference check)."""
+        from repro.core.combinatorics import all_permutations
+
+        expected = {
+            packed.conjugate_by_wire_perm(word, sigma, 4)
+            for sigma in all_permutations(4)
+        }
+        assert set(equivalence.conjugates(word, 4)) == expected
+
+    @given(perm_words(4))
+    def test_conjugates_with_wire_perms_are_consistent(self, word):
+        for conjugate, sigma in equivalence.conjugates_with_wire_perms(word, 4):
+            assert packed.conjugate_by_wire_perm(word, sigma, 4) == conjugate
+
+
+class TestCanonical:
+    @given(perm_words(4))
+    def test_canonical_is_minimum_of_class(self, word):
+        members = equivalence.equivalence_class(word, 4)
+        assert equivalence.canonical(word, 4) == min(members)
+
+    @given(perm_words(4))
+    def test_canonical_is_class_invariant(self, word):
+        canon = equivalence.canonical(word, 4)
+        for member in equivalence.equivalence_class(word, 4):
+            assert equivalence.canonical(member, 4) == canon
+
+    @given(perm_words(4))
+    def test_canonical_invariant_under_inversion(self, word):
+        inverse = packed.inverse(word, 4)
+        assert equivalence.canonical(word, 4) == equivalence.canonical(inverse, 4)
+
+    @given(perm_words(4))
+    def test_is_canonical(self, word):
+        canon = equivalence.canonical(word, 4)
+        assert equivalence.is_canonical(canon, 4)
+        if word != canon:
+            assert not equivalence.is_canonical(word, 4)
+
+    def test_identity_is_its_own_class(self):
+        identity = packed.identity(4)
+        assert equivalence.equivalence_class(identity, 4) == {identity}
+        assert equivalence.class_size(identity, 4) == 1
+
+
+class TestClassSize:
+    @given(perm_words(4))
+    def test_class_size_divides_48(self, word):
+        """Orbit sizes divide the acting group order 2 * 4! = 48."""
+        size = equivalence.class_size(word, 4)
+        assert 48 % size == 0
+
+    def test_gates_form_four_classes(self):
+        """The 32 gates split into the 4 classes of Table 4 (size 1)."""
+        canons = {equivalence.canonical(w, 4) for w in gate_words(4)}
+        assert len(canons) == 4
+
+    def test_not_gate_class_smaller_than_48(self):
+        """Paper: 'if f = NOT(a), there exist only 4 distinct functions of
+        the form f_sigma' -- with inversion the class stays at 4 because
+        NOT gates are involutions."""
+        from repro.core.gates import NOT
+
+        word = NOT(0).to_word(4)
+        conjugates = set(equivalence.conjugates(word, 4))
+        assert len(conjugates) == 4
+        assert equivalence.class_size(word, 4) == 4
+
+    @given(perm_words(3))
+    def test_class_size_divides_12_n3(self, word):
+        size = equivalence.class_size(word, 3)
+        assert 12 % size == 0
+
+
+class TestFindConjugatingPerm:
+    @given(perm_words(4))
+    def test_finds_witness_for_conjugates(self, word):
+        for conjugate in list(equivalence.conjugates(word, 4))[:6]:
+            sigma = equivalence.find_conjugating_perm(word, conjugate, 4)
+            assert sigma is not None
+            assert packed.conjugate_by_wire_perm(word, sigma, 4) == conjugate
+
+    def test_returns_none_for_non_conjugates(self):
+        from repro.core.gates import CNOT, NOT
+
+        not_word = NOT(0).to_word(4)
+        cnot_word = CNOT(0, 1).to_word(4)
+        assert equivalence.find_conjugating_perm(not_word, cnot_word, 4) is None

@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DatabaseError,
+    InvalidCircuitError,
+    InvalidGateError,
+    InvalidPermutationError,
+    ReproError,
+    SizeLimitExceededError,
+    SynthesisError,
+    UnsatisfiableError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            InvalidPermutationError,
+            InvalidGateError,
+            InvalidCircuitError,
+            SynthesisError,
+            SizeLimitExceededError,
+            DatabaseError,
+            UnsatisfiableError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_value_errors_double_as_valueerror(self):
+        """Input-validation errors should be catchable as ValueError, the
+        idiomatic Python contract for bad arguments."""
+        assert issubclass(InvalidPermutationError, ValueError)
+        assert issubclass(InvalidGateError, ValueError)
+        assert issubclass(InvalidCircuitError, ValueError)
+
+    def test_size_limit_is_synthesis_error(self):
+        assert issubclass(SizeLimitExceededError, SynthesisError)
+
+    def test_size_limit_carries_bound(self):
+        exc = SizeLimitExceededError("too big", lower_bound=9)
+        assert exc.lower_bound == 9
+        assert "too big" in str(exc)
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise SizeLimitExceededError("x", lower_bound=1)
+
+    def test_library_never_leaks_bare_exceptions_for_bad_specs(self):
+        """End-to-end: malformed user input surfaces as ReproError."""
+        from repro.core.permutation import Permutation
+
+        with pytest.raises(ReproError):
+            Permutation.from_spec("[1,2,3]")
+        with pytest.raises(ReproError):
+            Permutation.from_spec("not a spec at all []")

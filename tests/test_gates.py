@@ -1,0 +1,160 @@
+"""Tests for the NCT gate library (paper §2, Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import packed
+from repro.core.gates import (
+    CNOT,
+    NOT,
+    TOF,
+    TOF4,
+    Gate,
+    all_gates,
+    gate_words,
+    linear_gates,
+)
+from repro.errors import InvalidGateError
+
+
+class TestGateSemantics:
+    """Figure 1: the defining truth-table behaviour of each gate kind."""
+
+    def test_not_flips_target(self):
+        gate = NOT(0)
+        for x in range(16):
+            assert gate.apply(x) == x ^ 1
+
+    def test_cnot_definition(self):
+        gate = CNOT(0, 1)  # b ^= a
+        for x in range(16):
+            a = x & 1
+            expected = x ^ (a << 1)
+            assert gate.apply(x) == expected
+
+    def test_toffoli_definition(self):
+        gate = TOF(0, 1, 2)  # c ^= ab
+        for x in range(16):
+            a, b = x & 1, (x >> 1) & 1
+            assert gate.apply(x) == x ^ ((a & b) << 2)
+
+    def test_toffoli4_definition(self):
+        gate = TOF4(0, 1, 2, 3)  # d ^= abc
+        for x in range(16):
+            a, b, c = x & 1, (x >> 1) & 1, (x >> 2) & 1
+            assert gate.apply(x) == x ^ ((a & b & c) << 3)
+
+    @given(st.sampled_from(all_gates(4)), st.integers(0, 15))
+    def test_every_gate_is_involution(self, gate, x):
+        assert gate.apply(gate.apply(x)) == x
+
+    @given(st.sampled_from(all_gates(4)))
+    def test_gate_word_is_valid_permutation(self, gate):
+        assert packed.is_valid(gate.to_word(4), 4)
+
+    @given(st.sampled_from(all_gates(4)))
+    def test_gate_word_matches_apply(self, gate):
+        word = gate.to_word(4)
+        for x in range(16):
+            assert packed.get(word, x) == gate.apply(x)
+
+
+class TestLibraryStructure:
+    def test_gate_counts(self):
+        """4 NOT + 12 CNOT + 12 TOF + 4 TOF4 = 32 gates on 4 wires."""
+        assert len(all_gates(4)) == 32
+        assert len(all_gates(3)) == 12
+        assert len(all_gates(2)) == 4
+
+    def test_gate_kind_histogram_n4(self):
+        kinds = {}
+        for gate in all_gates(4):
+            kinds[gate.kind] = kinds.get(gate.kind, 0) + 1
+        assert kinds == {"NOT": 4, "CNOT": 12, "TOF": 12, "TOF4": 4}
+
+    def test_linear_gates(self):
+        gates = linear_gates(4)
+        assert len(gates) == 16
+        assert all(len(g.controls) <= 1 for g in gates)
+
+    def test_all_gates_deterministic_order(self):
+        assert all_gates(4) == all_gates(4)
+
+    def test_gate_words_distinct(self):
+        words = gate_words(4)
+        assert len(set(words)) == 32
+
+    def test_library_closed_under_relabeling(self):
+        library = set(all_gates(4))
+        for gate in all_gates(4):
+            for sigma in [(1, 0, 2, 3), (3, 2, 1, 0), (1, 2, 3, 0)]:
+                assert gate.relabeled(sigma) in library
+
+
+class TestGateValidation:
+    def test_duplicate_controls_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Gate(controls=(1, 1), target=0)
+
+    def test_target_in_controls_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Gate(controls=(0, 1), target=1)
+
+    def test_negative_wire_rejected(self):
+        with pytest.raises(InvalidGateError):
+            Gate(controls=(), target=-1)
+
+    def test_gate_does_not_fit(self):
+        with pytest.raises(InvalidGateError):
+            TOF4(0, 1, 2, 3).to_word(3)
+
+    def test_controls_are_sorted(self):
+        gate = Gate(controls=(2, 0), target=1)
+        assert gate.controls == (0, 2)
+
+
+class TestGateFormatting:
+    @pytest.mark.parametrize(
+        "gate,text",
+        [
+            (NOT(0), "NOT(a)"),
+            (CNOT(2, 0), "CNOT(c,a)"),
+            (TOF(0, 1, 3), "TOF(a,b,d)"),
+            (TOF4(0, 2, 3, 1), "TOF4(a,c,d,b)"),
+        ],
+    )
+    def test_str(self, gate, text):
+        assert str(gate) == text
+
+    @pytest.mark.parametrize(
+        "text,controls,target",
+        [
+            ("NOT(a)", (), 0),
+            ("CNOT(d,b)", (3,), 1),
+            ("TOF(a,b,d)", (0, 1), 3),
+            ("TOF4(a,b,c,d)", (0, 1, 2), 3),
+            ("TOF( a , b , d )", (0, 1), 3),
+        ],
+    )
+    def test_parse(self, text, controls, target):
+        gate = Gate.parse(text)
+        assert gate.controls == tuple(sorted(controls))
+        assert gate.target == target
+
+    @given(st.sampled_from(all_gates(4)))
+    def test_parse_roundtrip(self, gate):
+        assert Gate.parse(str(gate)) == gate
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(InvalidGateError):
+            Gate.parse("FOO")
+
+    def test_parse_rejects_kind_mismatch(self):
+        with pytest.raises(InvalidGateError):
+            Gate.parse("NOT(a,b)")
+
+    def test_support_and_control_mask(self):
+        gate = TOF(0, 2, 3)
+        assert gate.support == frozenset({0, 2, 3})
+        assert gate.control_mask == 0b0101

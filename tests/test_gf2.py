@@ -1,0 +1,126 @@
+"""Tests for the GF(2) linear-algebra substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permutation import Permutation
+from repro.errors import InvalidPermutationError
+from repro.synth.gf2 import (
+    AffineMap,
+    affine_from_permutation,
+    all_affine_words,
+    count_invertible_matrices,
+    is_affine_permutation,
+    is_linear_permutation,
+    matrix_inverse,
+    matrix_multiply,
+    rank,
+    transpose,
+)
+
+
+def invertible_matrices(n):
+    """Hypothesis strategy: random invertible GF(2) matrix via row ops."""
+
+    def build(seed):
+        import random
+
+        rng = random.Random(seed)
+        rows = [1 << i for i in range(n)]
+        for _ in range(25):
+            i, j = rng.randrange(n), rng.randrange(n)
+            if i != j:
+                rows[i] ^= rows[j]
+        rng.shuffle(rows)
+        return tuple(rows)
+
+    return st.integers(0, 10**9).map(build)
+
+
+class TestMatrixOps:
+    def test_rank_identity(self):
+        assert rank([1, 2, 4, 8]) == 4
+
+    def test_rank_singular(self):
+        assert rank([1, 2, 3, 0]) == 2  # row3 = row1 ^ row2, row4 = 0
+
+    @given(invertible_matrices(4))
+    def test_inverse_roundtrip(self, rows):
+        inverse = matrix_inverse(rows)
+        identity = tuple(1 << i for i in range(4))
+        assert matrix_multiply(rows, inverse) == identity
+        assert matrix_multiply(inverse, rows) == identity
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(InvalidPermutationError):
+            matrix_inverse((1, 2, 3, 0))
+
+    @given(invertible_matrices(4))
+    def test_transpose_involution(self, rows):
+        assert transpose(transpose(rows)) == rows
+
+    def test_count_invertible(self):
+        assert count_invertible_matrices(4) == 20160
+        assert count_invertible_matrices(3) == 168
+        assert count_invertible_matrices(2) == 6
+
+
+class TestAffineMaps:
+    @given(invertible_matrices(4), st.integers(0, 15))
+    def test_affine_roundtrip(self, rows, constant):
+        affine = AffineMap(rows=rows, constant=constant)
+        assert affine.is_invertible()
+        perm = Permutation(affine.to_word(), 4)
+        recovered = affine_from_permutation(perm)
+        assert recovered == affine
+
+    def test_singular_map_not_packable(self):
+        affine = AffineMap(rows=(1, 2, 3, 0), constant=0)
+        with pytest.raises(InvalidPermutationError):
+            affine.to_word()
+
+    def test_strictly_linear(self):
+        linear = AffineMap(rows=(1, 3, 4, 8), constant=0)
+        affine = AffineMap(rows=(1, 3, 4, 8), constant=5)
+        assert linear.is_strictly_linear()
+        assert not affine.is_strictly_linear()
+
+
+class TestRecognition:
+    def test_not_gate_affine_not_linear(self):
+        not_a = Permutation.from_values([x ^ 1 for x in range(16)])
+        assert is_affine_permutation(not_a)
+        assert not is_linear_permutation(not_a)
+
+    def test_toffoli_not_affine(self):
+        tof = Permutation.from_values(
+            [x ^ (((x & 1) & ((x >> 1) & 1)) << 2) for x in range(16)]
+        )
+        assert not is_affine_permutation(tof)
+        assert affine_from_permutation(tof) is None
+
+    def test_paper_linear_example(self):
+        """Section 4.3's example: a,b,c,d -> b⊕1, a⊕c⊕1, d⊕1, a."""
+        values = []
+        for x in range(16):
+            a, b, c, d = x & 1, (x >> 1) & 1, (x >> 2) & 1, (x >> 3) & 1
+            values.append(
+                (b ^ 1) | ((a ^ c ^ 1) << 1) | ((d ^ 1) << 2) | (a << 3)
+            )
+        perm = Permutation.from_values(values)
+        assert is_affine_permutation(perm)
+        assert not is_linear_permutation(perm)
+
+
+class TestEnumeration:
+    def test_all_affine_words_n2(self):
+        words = all_affine_words(2)
+        assert len(words) == count_invertible_matrices(2) * 4 == 24
+        assert len(set(words)) == 24
+        for word in words:
+            assert is_affine_permutation(Permutation(word, 2))
+
+    def test_all_affine_words_n3_count(self):
+        words = all_affine_words(3)
+        assert len(set(words)) == count_invertible_matrices(3) * 8 == 1344

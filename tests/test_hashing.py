@@ -1,0 +1,148 @@
+"""Tests for the hashing substrate (Wang hash + linear-probing table)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.table import EMPTY, LinearProbingTable
+from repro.hashing.wang import hash64shift, hash64shift_np
+
+uint64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestWangHash:
+    def test_deterministic(self):
+        assert hash64shift(12345) == hash64shift(12345)
+
+    def test_distinct_on_small_inputs(self):
+        outputs = {hash64shift(x) for x in range(4096)}
+        assert len(outputs) == 4096
+
+    @given(uint64s)
+    def test_output_is_64_bit(self, x):
+        assert 0 <= hash64shift(x) < (1 << 64)
+
+    @given(st.lists(uint64s, min_size=1, max_size=64))
+    def test_vectorized_matches_scalar(self, keys):
+        arr = np.array(keys, dtype=np.uint64)
+        expected = [hash64shift(k) for k in keys]
+        assert hash64shift_np(arr).tolist() == expected
+
+    def test_avalanche_smoke(self):
+        """Flipping one input bit flips many output bits on average."""
+        total = 0
+        for x in range(256):
+            baseline = hash64shift(x)
+            flipped = hash64shift(x ^ 1)
+            total += bin(baseline ^ flipped).count("1")
+        assert total / 256 > 20  # ~32 expected for a good mixer
+
+
+class TestLinearProbingTable:
+    def test_insert_get(self):
+        table = LinearProbingTable(capacity_bits=6)
+        assert table.insert(42, 7)
+        assert not table.insert(42, 9)  # duplicate keeps first value
+        assert table.get(42) == 7
+        assert table.get(43) is None
+        assert table.get(43, default=123) == 123
+        assert 42 in table and 43 not in table
+        assert len(table) == 1
+
+    def test_grows_past_load_factor(self):
+        table = LinearProbingTable(capacity_bits=4, max_load_factor=0.5)
+        for key in range(100):
+            table.insert(key, key % 200)
+        assert len(table) == 100
+        assert table.load_factor <= 0.5 + 1e-9
+        for key in range(100):
+            assert table.get(key) == key % 200
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=(1 << 64) - 2),
+            st.integers(min_value=0, max_value=254),
+            max_size=200,
+        )
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_matches_dict_model(self, model):
+        table = LinearProbingTable(capacity_bits=4)
+        for key, value in model.items():
+            table.insert(key, value)
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.get(key) == value
+        keys = np.array(list(model) or [0], dtype=np.uint64)
+        looked_up = table.lookup_batch(keys)
+        for key, result in zip(keys.tolist(), looked_up.tolist()):
+            assert result == model.get(key, table.missing_value)
+
+    def test_batch_insert_and_lookup(self):
+        table = LinearProbingTable(capacity_bits=4)
+        keys = np.arange(1000, dtype=np.uint64)
+        values = (keys % 200).astype(np.uint8)
+        added = table.insert_batch(keys, values)
+        assert added == 1000
+        assert table.insert_batch(keys, values) == 0  # all duplicates
+        result = table.lookup_batch(keys)
+        assert (result == values).all()
+        missing = table.lookup_batch(np.array([5000, 6000], dtype=np.uint64))
+        assert (missing == table.missing_value).all()
+
+    def test_contains_batch(self):
+        table = LinearProbingTable(capacity_bits=6)
+        table.insert_batch(np.array([1, 2, 3], dtype=np.uint64), 0)
+        mask = table.contains_batch(np.array([2, 9], dtype=np.uint64))
+        assert mask.tolist() == [True, False]
+
+    def test_lookup_empty_batch(self):
+        table = LinearProbingTable(capacity_bits=4)
+        assert table.lookup_batch(np.empty(0, dtype=np.uint64)).shape == (0,)
+
+    def test_keys_items(self):
+        table = LinearProbingTable(capacity_bits=6)
+        table.insert(10, 1)
+        table.insert(20, 2)
+        assert set(table.keys().tolist()) == {10, 20}
+        keys, values = table.items()
+        assert dict(zip(keys.tolist(), values.tolist())) == {10: 1, 20: 2}
+
+    def test_from_arrays_roundtrip(self):
+        keys = np.array([3, 1, 4, 159, 265], dtype=np.uint64)
+        values = np.array([1, 2, 3, 4, 5], dtype=np.uint8)
+        table = LinearProbingTable.from_arrays(keys, values)
+        for key, value in zip(keys.tolist(), values.tolist()):
+            assert table.get(key) == value
+
+    def test_stats(self):
+        table = LinearProbingTable(capacity_bits=8)
+        for key in range(100):
+            table.insert(key * 7919, 0)
+        stats = table.stats()
+        assert stats.count == 100
+        assert stats.capacity == 256
+        assert stats.load_factor == pytest.approx(100 / 256)
+        assert stats.average_probe_length >= 1.0
+        assert stats.maximal_cluster_length >= 1
+        assert stats.memory_bytes == 256 * 9
+        assert any("Load Factor" in row for row in stats.format_rows())
+
+    def test_stats_empty(self):
+        stats = LinearProbingTable(capacity_bits=4).stats()
+        assert stats.count == 0
+        assert stats.load_factor == 0.0
+
+    def test_empty_sentinel_not_insertable_as_ordinary_key(self):
+        # EMPTY is reserved; the table is only used with valid packed
+        # permutations, which can never equal it.
+        from repro.core import packed
+
+        assert not packed.is_valid(int(EMPTY), 4)
+
+    def test_capacity_bits_validation(self):
+        from repro.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            LinearProbingTable(capacity_bits=2)

@@ -1,0 +1,85 @@
+"""Tests for the RevLib .real reader/writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.core.gates import all_gates
+from repro.errors import InvalidCircuitError
+from repro.io.real_format import read_real, write_real
+
+
+class TestRoundtrip:
+    @given(gates=st.lists(st.sampled_from(all_gates(4)), max_size=15))
+    @settings(deadline=None, max_examples=40)
+    def test_write_read_roundtrip(self, gates, tmp_path_factory):
+        circuit = Circuit.from_gates(gates, 4)
+        path = tmp_path_factory.mktemp("real") / "c.real"
+        write_real(circuit, path)
+        assert read_real(path) == circuit
+
+    def test_known_file_content(self, tmp_path):
+        circuit = Circuit.parse("TOF(a,b,d) CNOT(a,b)", 4)
+        path = tmp_path / "rd32.real"
+        write_real(circuit, path, comment="optimal adder fragment")
+        text = path.read_text()
+        assert "# optimal adder fragment" in text
+        assert ".numvars 4" in text
+        assert "t3 a b d" in text
+        assert "t2 a b" in text
+
+    def test_read_handles_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(
+            "# header\n\n.version 2.0\n.numvars 2\n.variables a b\n"
+            ".begin\nt1 a  # inline comment\nt2 a b\n.end\n"
+        )
+        circuit = read_real(path)
+        assert circuit.n_wires == 2
+        assert str(circuit) == "NOT(a) CNOT(a,b)"
+
+    def test_read_ignores_metadata_directives(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(
+            ".numvars 3\n.variables a b c\n.inputs a b c\n.outputs a b c\n"
+            ".constants ---\n.garbage ---\n.begin\nt3 a b c\n.end\n"
+        )
+        assert read_real(path).gate_count == 1
+
+
+class TestErrors:
+    def test_unknown_gate_kind(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".numvars 2\n.variables a b\n.begin\nf2 a b\n.end\n")
+        with pytest.raises(InvalidCircuitError):
+            read_real(path)
+
+    def test_arity_mismatch(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n")
+        with pytest.raises(InvalidCircuitError):
+            read_real(path)
+
+    def test_unknown_line_name(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".numvars 2\n.variables a b\n.begin\nt1 z\n.end\n")
+        with pytest.raises(InvalidCircuitError):
+            read_real(path)
+
+    def test_no_variables(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".begin\n.end\n")
+        with pytest.raises(InvalidCircuitError):
+            read_real(path)
+
+    def test_bad_kind_number(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".numvars 2\n.variables a b\n.begin\ntx a\n.end\n")
+        with pytest.raises(InvalidCircuitError):
+            read_real(path)
+
+    def test_numvars_inferred_from_variables(self, tmp_path):
+        path = tmp_path / "c.real"
+        path.write_text(".variables a b c\n.begin\nt1 c\n.end\n")
+        assert read_real(path).n_wires == 3

@@ -1,0 +1,150 @@
+"""Unit and property tests for the packed-word arithmetic (paper §3.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import packed
+from repro.errors import InvalidPermutationError
+
+
+def perm_words(n_wires):
+    """Hypothesis strategy: a random packed permutation on n wires."""
+    size = 1 << n_wires
+    return st.permutations(list(range(size))).map(packed.pack)
+
+
+class TestIdentityAndPacking:
+    def test_identity_word_n4(self):
+        assert packed.identity(4) == 0xFEDCBA9876543210
+
+    def test_identity_word_n2(self):
+        assert packed.identity(2) == 0x3210
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_identity_fixes_everything(self, n):
+        word = packed.identity(n)
+        for x in range(1 << n):
+            assert packed.get(word, x) == x
+
+    def test_pack_unpack_roundtrip(self):
+        values = [3, 1, 0, 2]
+        assert packed.unpack(packed.pack(values), 2) == tuple(values)
+
+    def test_pack_rejects_non_permutation(self):
+        with pytest.raises(InvalidPermutationError):
+            packed.pack([0, 0, 1, 2])
+
+    def test_pack_rejects_bad_length(self):
+        with pytest.raises(InvalidPermutationError):
+            packed.pack([0, 1, 2])
+
+    @given(perm_words(4))
+    def test_is_valid_accepts_permutations(self, word):
+        assert packed.is_valid(word, 4)
+
+    def test_is_valid_rejects_sentinel(self):
+        assert not packed.is_valid(packed.EMPTY_WORD, 4)
+
+    def test_is_valid_rejects_high_bits_for_small_n(self):
+        word = packed.identity(3) | (1 << 60)
+        assert not packed.is_valid(word, 3)
+
+
+class TestComposeInverse:
+    @given(perm_words(4), perm_words(4))
+    def test_compose_matches_pointwise(self, p, q):
+        r = packed.compose(p, q, 4)
+        for x in range(16):
+            assert packed.get(r, x) == packed.get(q, packed.get(p, x))
+
+    @given(perm_words(4), perm_words(4))
+    def test_compose_matches_paper_port(self, p, q):
+        assert packed.compose(p, q, 4) == packed.compose4_paper(p, q)
+
+    @given(perm_words(3), perm_words(3))
+    def test_compose_n3(self, p, q):
+        r = packed.compose(p, q, 3)
+        for x in range(8):
+            assert packed.get(r, x) == packed.get(q, packed.get(p, x))
+
+    @given(perm_words(4))
+    def test_inverse_roundtrip(self, p):
+        identity = packed.identity(4)
+        assert packed.compose(p, packed.inverse(p, 4), 4) == identity
+        assert packed.compose(packed.inverse(p, 4), p, 4) == identity
+        assert packed.inverse(packed.inverse(p, 4), 4) == p
+
+    @given(perm_words(4), perm_words(4), perm_words(4))
+    def test_compose_associative(self, p, q, r):
+        left = packed.compose(packed.compose(p, q, 4), r, 4)
+        right = packed.compose(p, packed.compose(q, r, 4), 4)
+        assert left == right
+
+    @given(perm_words(4))
+    def test_identity_is_neutral(self, p):
+        identity = packed.identity(4)
+        assert packed.compose(p, identity, 4) == p
+        assert packed.compose(identity, p, 4) == p
+
+
+class TestConjugation:
+    @given(perm_words(4))
+    def test_adjacent_conjugation_matches_paper_port(self, p):
+        assert packed.conjugate_adjacent(p, 0, 4) == packed.conjugate01_paper(p)
+
+    @given(perm_words(4))
+    def test_adjacent_conjugation_is_involution(self, p):
+        for pair in range(3):
+            twice = packed.conjugate_adjacent(
+                packed.conjugate_adjacent(p, pair, 4), pair, 4
+            )
+            assert twice == p
+
+    @given(perm_words(4))
+    def test_adjacent_matches_general_conjugation(self, p):
+        swaps = {0: (1, 0, 2, 3), 1: (0, 2, 1, 3), 2: (0, 1, 3, 2)}
+        for pair, wire_perm in swaps.items():
+            assert packed.conjugate_adjacent(
+                p, pair, 4
+            ) == packed.conjugate_by_wire_perm(p, wire_perm, 4)
+
+    @given(perm_words(4))
+    def test_conjugation_preserves_validity(self, p):
+        for pair in range(3):
+            assert packed.is_valid(packed.conjugate_adjacent(p, pair, 4), 4)
+
+    @given(perm_words(3))
+    def test_conjugation_n3(self, p):
+        for pair in range(2):
+            conjugated = packed.conjugate_adjacent(p, pair, 3)
+            assert packed.is_valid(conjugated, 3)
+            twice = packed.conjugate_adjacent(conjugated, pair, 3)
+            assert twice == p
+
+    @given(perm_words(4), perm_words(4))
+    def test_conjugation_is_homomorphism(self, p, q):
+        """conj(p·q) == conj(p)·conj(q) for the adjacent swap."""
+        composed = packed.compose(p, q, 4)
+        lhs = packed.conjugate_adjacent(composed, 0, 4)
+        rhs = packed.compose(
+            packed.conjugate_adjacent(p, 0, 4),
+            packed.conjugate_adjacent(q, 0, 4),
+            4,
+        )
+        assert lhs == rhs
+
+    def test_identity_is_conjugation_fixed_point(self):
+        identity = packed.identity(4)
+        for pair in range(3):
+            assert packed.conjugate_adjacent(identity, pair, 4) == identity
+
+
+class TestRandomWord:
+    def test_random_word_is_valid(self, rng):
+        for _ in range(50):
+            assert packed.is_valid(packed.random_word(4, rng), 4)
+
+    def test_bad_wire_count_rejected(self):
+        with pytest.raises(InvalidPermutationError):
+            packed.identity(5)

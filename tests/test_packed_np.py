@@ -1,0 +1,128 @@
+"""Property tests: vectorized packed ops agree with the scalar reference."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import equivalence, packed
+from repro.core.packed_np import (
+    all_variants_np,
+    as_words,
+    canonical_conjugation_only_np,
+    canonical_np,
+    class_sizes_np,
+    compose_np,
+    conjugate_adjacent_np,
+    expand_classes_np,
+    inverse_np,
+    is_valid_np,
+)
+
+
+def word_lists(n_wires, max_len=40):
+    size = 1 << n_wires
+    return st.lists(
+        st.permutations(list(range(size))).map(packed.pack),
+        min_size=1,
+        max_size=max_len,
+    )
+
+
+@given(word_lists(4))
+def test_inverse_np_matches_scalar(words):
+    arr = as_words(words)
+    expected = [packed.inverse(w, 4) for w in words]
+    assert inverse_np(arr, 4).tolist() == expected
+
+
+@given(word_lists(4), st.permutations(list(range(16))).map(packed.pack))
+def test_compose_np_matches_scalar(words, q):
+    arr = as_words(words)
+    expected = [packed.compose(w, q, 4) for w in words]
+    assert compose_np(arr, np.uint64(q), 4).tolist() == expected
+
+
+@given(word_lists(3), st.permutations(list(range(8))).map(packed.pack))
+def test_compose_np_matches_scalar_n3(words, q):
+    arr = as_words(words)
+    expected = [packed.compose(w, q, 3) for w in words]
+    assert compose_np(arr, np.uint64(q), 3).tolist() == expected
+
+
+@given(word_lists(4))
+def test_conjugate_adjacent_np_matches_scalar(words):
+    arr = as_words(words)
+    for pair in range(3):
+        expected = [packed.conjugate_adjacent(w, pair, 4) for w in words]
+        assert conjugate_adjacent_np(arr, pair, 4).tolist() == expected
+
+
+@given(word_lists(4, max_len=25))
+@settings(deadline=None)
+def test_canonical_np_matches_scalar(words):
+    arr = as_words(words)
+    expected = [equivalence.canonical(w, 4) for w in words]
+    assert canonical_np(arr, 4).tolist() == expected
+
+
+@given(word_lists(3, max_len=25))
+@settings(deadline=None)
+def test_canonical_np_matches_scalar_n3(words):
+    arr = as_words(words)
+    expected = [equivalence.canonical(w, 3) for w in words]
+    assert canonical_np(arr, 3).tolist() == expected
+
+
+@given(word_lists(4, max_len=15))
+@settings(deadline=None)
+def test_class_sizes_np_matches_scalar(words):
+    arr = as_words(words)
+    expected = [equivalence.class_size(w, 4) for w in words]
+    assert class_sizes_np(arr, 4).tolist() == expected
+
+
+@given(word_lists(4, max_len=10))
+@settings(deadline=None)
+def test_all_variants_cover_equivalence_class(words):
+    arr = as_words(words)
+    variants = all_variants_np(arr, 4)
+    assert variants.shape == (48, len(words))
+    for column, word in enumerate(words):
+        expected = equivalence.equivalence_class(word, 4)
+        assert set(variants[:, column].tolist()) == expected
+
+
+@given(word_lists(4, max_len=8))
+@settings(deadline=None)
+def test_expand_classes_np(words):
+    arr = as_words(words)
+    expanded = expand_classes_np(arr, 4)
+    expected = set()
+    for word in words:
+        expected |= equivalence.equivalence_class(word, 4)
+    assert set(expanded.tolist()) == expected
+    assert np.all(np.diff(expanded.astype(np.uint64)) > 0)  # sorted, unique
+
+
+def test_canonical_conjugation_only_smaller_or_equal():
+    rng = np.random.default_rng(3)
+    values = np.arange(16)
+    words = []
+    for _ in range(50):
+        rng.shuffle(values)
+        words.append(packed.pack(values.tolist()))
+    arr = as_words(words)
+    with_inverse = canonical_np(arr, 4)
+    without_inverse = canonical_conjugation_only_np(arr, 4)
+    assert np.all(with_inverse <= without_inverse)
+    assert np.all(without_inverse <= arr)
+
+
+def test_is_valid_np():
+    good = as_words([packed.identity(4), packed.pack(list(range(15, -1, -1)))])
+    assert is_valid_np(good, 4).all()
+    bad = as_words([packed.EMPTY_WORD, np.uint64(0)])
+    assert not is_valid_np(bad, 4).any()
+    # n = 3 with stray high bits is invalid.
+    tainted = as_words([packed.identity(3) | (1 << 40)])
+    assert not is_valid_np(tainted, 3).any()

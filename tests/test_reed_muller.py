@@ -1,0 +1,106 @@
+"""Tests for the Reed-Muller/ANF spectral analysis (paper §4.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.reed_muller import (
+    ReedMullerSpectrum,
+    anf_degree,
+    anf_to_terms,
+    anf_transform,
+    degree_profile,
+)
+from repro.core.permutation import Permutation
+
+
+class TestAnfTransform:
+    def test_constant_zero(self):
+        assert anf_transform([0, 0, 0, 0]) == [0, 0, 0, 0]
+
+    def test_constant_one(self):
+        assert anf_transform([1, 1, 1, 1]) == [1, 0, 0, 0]
+
+    def test_single_variable(self):
+        # f(x0, x1) = x0: truth column [0,1,0,1]
+        assert anf_transform([0, 1, 0, 1]) == [0, 1, 0, 0]
+
+    def test_and_function(self):
+        # f = x0 AND x1: [0,0,0,1] -> monomial x0·x1 only.
+        assert anf_transform([0, 0, 0, 1]) == [0, 0, 0, 1]
+
+    def test_xor_function(self):
+        assert anf_transform([0, 1, 1, 0]) == [0, 1, 1, 0]
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    def test_transform_is_involution(self, column):
+        assert anf_transform(anf_transform(column)) == column
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            anf_transform([0, 1, 0])
+
+    def test_degree_and_terms(self):
+        coefficients = anf_transform([0, 0, 0, 1])
+        assert anf_degree(coefficients) == 2
+        assert anf_to_terms(coefficients, 2) == ["a·b"]
+
+
+class TestSpectra:
+    def test_identity_is_linear(self):
+        spectrum = ReedMullerSpectrum.of(Permutation.identity(4))
+        assert spectrum.is_linear()
+        assert spectrum.degree() == 1
+
+    def test_not_gate_is_linear_with_constant(self):
+        perm = Permutation.from_values([x ^ 1 for x in range(16)])
+        spectrum = ReedMullerSpectrum.of(perm)
+        assert spectrum.is_linear()
+        assert "1" in spectrum.output_terms(0)
+
+    def test_toffoli_is_quadratic(self):
+        perm = Permutation.from_values(
+            [x ^ (((x & 1) & ((x >> 1) & 1)) << 2) for x in range(16)]
+        )
+        spectrum = ReedMullerSpectrum.of(perm)
+        assert spectrum.degree() == 2
+        assert not spectrum.is_linear()
+        assert degree_profile(perm) == [1, 1, 2, 1]
+
+    def test_spectral_linearity_matches_gf2(self):
+        """Paper §4.3's spectral definition agrees with the matrix one
+        on every stored linear function sample and on benchmarks."""
+        from repro.benchmarks_data import BENCHMARKS
+
+        for bench in BENCHMARKS:
+            perm = bench.permutation()
+            assert ReedMullerSpectrum.of(perm).is_linear() == perm.is_affine()
+
+    def test_paper_linear_example_spectrum(self):
+        values = []
+        for x in range(16):
+            a, b, c, d = x & 1, (x >> 1) & 1, (x >> 2) & 1, (x >> 3) & 1
+            values.append(
+                (b ^ 1) | ((a ^ c ^ 1) << 1) | ((d ^ 1) << 2) | (a << 3)
+            )
+        spectrum = ReedMullerSpectrum.of(Permutation.from_values(values))
+        assert spectrum.is_linear()
+        # Output 0 is b ⊕ 1.
+        assert sorted(spectrum.output_terms(0)) == ["1", "b"]
+        # Output 1 is a ⊕ c ⊕ 1.
+        assert sorted(spectrum.output_terms(1)) == ["1", "a", "c"]
+
+    def test_hwb4_is_maximally_nonlinear(self):
+        from repro.benchmarks_data import get_benchmark
+
+        spectrum = ReedMullerSpectrum.of(get_benchmark("hwb4").permutation())
+        assert spectrum.degree() == 3
+
+    def test_term_count_positive(self):
+        spectrum = ReedMullerSpectrum.of(Permutation.identity(3))
+        assert spectrum.term_count() == 3  # one linear term per output
+
+    @given(st.permutations(list(range(16))))
+    def test_linear_test_agrees_with_gf2_everywhere(self, values):
+        perm = Permutation.from_values(list(values))
+        assert ReedMullerSpectrum.of(perm).is_linear() == perm.is_affine()

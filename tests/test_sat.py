@@ -1,0 +1,171 @@
+"""Tests for the SAT subsystem: CNF, CDCL solver, synthesis encoding."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import UnsatisfiableError
+from repro.sat.cnf import CNF
+from repro.sat.encoding import encode_synthesis
+from repro.sat.solver import Solver, solve_cnf
+from repro.sat.synth import sat_synthesize, sat_synthesize_fixed_size
+
+
+class TestCNF:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.n_vars == 3
+
+    def test_add_validates_literals(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add(2)  # unallocated variable
+        with pytest.raises(ValueError):
+            cnf.add(0)
+        with pytest.raises(ValueError):
+            cnf.add()
+
+    def test_exactly_one(self):
+        cnf = CNF()
+        vars_ = cnf.new_vars(3)
+        cnf.exactly_one(vars_)
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert sum(result.model[v] for v in vars_) == 1
+
+
+class TestSolver:
+    def test_trivial_sat(self):
+        result = Solver(1, [(1,)]).solve()
+        assert result.satisfiable and result.model[1]
+
+    def test_trivial_unsat(self):
+        result = Solver(1, [(1,), (-1,)]).solve()
+        assert not result.satisfiable
+
+    def test_empty_formula_sat(self):
+        assert Solver(3, []).solve().satisfiable
+
+    def test_tautologies_dropped(self):
+        result = Solver(2, [(1, -1), (2,)]).solve()
+        assert result.satisfiable and result.model[2]
+
+    def test_random_3sat_vs_brute_force(self):
+        rng = random.Random(2024)
+        for _ in range(120):
+            n = rng.randint(3, 8)
+            clauses = []
+            for _ in range(rng.randint(2, 35)):
+                size = rng.randint(1, 3)
+                wires = rng.sample(range(1, n + 1), min(size, n))
+                clauses.append(
+                    tuple(v if rng.random() < 0.5 else -v for v in wires)
+                )
+            brute = any(
+                all(
+                    any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+                    for clause in clauses
+                )
+                for bits in itertools.product([False, True], repeat=n)
+            )
+            result = Solver(n, clauses).solve()
+            assert result.satisfiable == brute
+            if result.satisfiable:
+                model = result.model
+                assert all(
+                    any((lit > 0) == model[abs(lit)] for lit in clause)
+                    for clause in clauses
+                )
+
+    def test_pigeonhole_unsat(self):
+        cnf = CNF()
+        holes, pigeons = 4, 5
+        var = {
+            (p, h): cnf.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            cnf.add(*[var[p, h] for h in range(holes)])
+        for h in range(holes):
+            cnf.at_most_one([var[p, h] for p in range(pigeons)])
+        result = solve_cnf(cnf)
+        assert not result.satisfiable
+        assert result.conflicts > 0
+
+    def test_conflict_budget(self):
+        cnf = CNF()
+        holes, pigeons = 7, 8
+        var = {
+            (p, h): cnf.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            cnf.add(*[var[p, h] for h in range(holes)])
+        for h in range(holes):
+            cnf.at_most_one([var[p, h] for p in range(pigeons)])
+        result = solve_cnf(cnf, conflict_budget=10)
+        assert not result.satisfiable
+        assert result.conflicts >= 10
+
+
+class TestSynthesisEncoding:
+    def test_zero_gate_identity(self):
+        result = sat_synthesize(list(range(16)), max_gates=1)
+        assert result.circuit.gate_count == 0
+
+    def test_single_gates(self):
+        from repro.core.gates import all_gates
+        from repro.core.permutation import Permutation
+
+        for gate in all_gates(4)[:8]:
+            perm = Permutation(gate.to_word(4), 4)
+            result = sat_synthesize(perm, max_gates=2)
+            assert result.circuit.gate_count == 1
+            assert result.circuit.implements(perm)
+
+    def test_optimal_size_matches_search(self, engine4_l7):
+        """SAT-optimal and lookup-optimal agree on small functions."""
+        from repro.core.circuit import Circuit
+        from repro.core.permutation import Permutation
+
+        specimen = Circuit.parse("NOT(a) CNOT(a,b) TOF(b,c,d)", 4)
+        perm = Permutation(specimen.to_word(), 4)
+        expected = engine4_l7.size_of(perm.word)
+        result = sat_synthesize(perm, max_gates=4)
+        assert result.circuit.gate_count == expected
+
+    def test_fixed_size_unsat(self):
+        """No 1-gate circuit implements a 2-gate function."""
+        from repro.core.circuit import Circuit
+        from repro.core.permutation import Permutation
+
+        two_gate = Circuit.parse("NOT(a) CNOT(a,b)", 4)
+        perm = Permutation(two_gate.to_word(), 4)
+        with pytest.raises(UnsatisfiableError):
+            sat_synthesize_fixed_size(perm, 1)
+
+    def test_fixed_size_sat(self):
+        circuit = sat_synthesize_fixed_size(
+            [x ^ 1 for x in range(16)], 1
+        )
+        assert circuit.gate_count == 1
+
+    def test_encoding_size_scales_linearly_in_depth(self):
+        from repro.core.permutation import Permutation
+
+        perm = Permutation.identity(4)
+        small = encode_synthesis(perm, 2)
+        large = encode_synthesis(perm, 4)
+        ratio = len(large.cnf) / len(small.cnf)
+        assert 1.8 < ratio < 2.3
+
+    def test_n3_encoding(self):
+        """The encoding is width-generic: synthesize a 3-bit function."""
+        result = sat_synthesize([1, 0, 3, 2, 5, 4, 7, 6], max_gates=2)  # NOT(a)
+        assert result.circuit.gate_count == 1
+        assert result.circuit.n_wires == 3

@@ -1,0 +1,170 @@
+"""Tests for the stabilizer/Clifford subsystem (paper §5 future work)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.stabilizer import CliffordSynthesizer, CliffordTableau, clifford_group_size
+from repro.stabilizer.tableau import PauliTerm, StabilizerError
+
+X = PauliTerm(x=1, z=0, sign=0)
+Y = PauliTerm(x=1, z=1, sign=0)
+Z = PauliTerm(x=0, z=1, sign=0)
+
+
+@pytest.fixture(scope="module")
+def clifford1():
+    return CliffordSynthesizer(1)
+
+
+@pytest.fixture(scope="module")
+def clifford2():
+    return CliffordSynthesizer(2)
+
+
+class TestPauliAlgebra:
+    def test_commutation(self):
+        assert not X.commutes_with(Z)
+        assert not X.commutes_with(Y)
+        assert X.commutes_with(X)
+        two_qubit_a = PauliTerm(x=0b01, z=0b10, sign=0)  # X0 Z1
+        two_qubit_b = PauliTerm(x=0b10, z=0b01, sign=0)  # Z0 X1
+        assert two_qubit_a.commutes_with(two_qubit_b)
+
+    def test_labels(self):
+        assert X.label(1) == "+X"
+        assert Y.label(2) == "+YI"
+        assert PauliTerm(x=0, z=2, sign=1).label(2) == "-IZ"
+
+
+class TestGateConjugation:
+    def test_hadamard(self):
+        h = CliffordTableau.hadamard(0, 1)
+        assert h.apply_to_pauli(X) == Z
+        assert h.apply_to_pauli(Z) == X
+        assert h.apply_to_pauli(Y) == PauliTerm(x=1, z=1, sign=1)  # -Y
+
+    def test_phase_gate(self):
+        s = CliffordTableau.phase_gate(0, 1)
+        assert s.apply_to_pauli(X) == Y
+        assert s.apply_to_pauli(Y) == PauliTerm(x=1, z=0, sign=1)  # -X
+        assert s.apply_to_pauli(Z) == Z
+
+    def test_cnot(self):
+        cx = CliffordTableau.cnot(0, 1, 2)
+        # X on control propagates to both; Z on target propagates back.
+        assert cx.apply_to_pauli(PauliTerm(x=0b01, z=0, sign=0)) == PauliTerm(
+            x=0b11, z=0, sign=0
+        )
+        assert cx.apply_to_pauli(PauliTerm(x=0, z=0b10, sign=0)) == PauliTerm(
+            x=0, z=0b11, sign=0
+        )
+        # X on target and Z on control are fixed.
+        assert cx.apply_to_pauli(PauliTerm(x=0b10, z=0, sign=0)) == PauliTerm(
+            x=0b10, z=0, sign=0
+        )
+
+    def test_cnot_validates(self):
+        with pytest.raises(StabilizerError):
+            CliffordTableau.cnot(1, 1, 2)
+
+    def test_sign_preserved_through_conjugation(self):
+        s = CliffordTableau.phase_gate(0, 1)
+        minus_x = PauliTerm(x=1, z=0, sign=1)
+        assert s.apply_to_pauli(minus_x) == PauliTerm(x=1, z=1, sign=1)
+
+
+class TestGroupStructure:
+    def test_defining_relations(self):
+        identity = CliffordTableau.identity(1)
+        h = CliffordTableau.hadamard(0, 1)
+        s = CliffordTableau.phase_gate(0, 1)
+        assert h.then(h) == identity
+        assert s.then(s).then(s).then(s) == identity
+        assert s.then(s) != identity  # S² = Z, not I
+        cx = CliffordTableau.cnot(0, 1, 2)
+        assert cx.then(cx) == CliffordTableau.identity(2)
+
+    def test_inverse(self):
+        s = CliffordTableau.phase_gate(0, 1)
+        assert s.inverse() == CliffordTableau.phase_gate_dagger(0, 1)
+        h = CliffordTableau.hadamard(0, 1)
+        assert h.inverse() == h
+        composite = h.then(s).then(h)
+        assert composite.then(composite.inverse()).is_identity()
+
+    def test_composition_is_associative(self):
+        a = CliffordTableau.hadamard(0, 2)
+        b = CliffordTableau.cnot(0, 1, 2)
+        c = CliffordTableau.phase_gate(1, 2)
+        assert a.then(b).then(c) == a.then(b.then(c))
+
+    def test_group_sizes(self):
+        assert clifford_group_size(1) == 24
+        assert clifford_group_size(2) == 11520
+        assert clifford_group_size(3) == 92897280
+
+    def test_key_uniqueness(self):
+        h = CliffordTableau.hadamard(0, 1)
+        s = CliffordTableau.phase_gate(0, 1)
+        assert h.key() != s.key()
+        assert h.key() == CliffordTableau.hadamard(0, 1).key()
+
+    def test_qubit_mismatch(self):
+        with pytest.raises(StabilizerError):
+            CliffordTableau.identity(1).then(CliffordTableau.identity(2))
+
+
+class TestSynthesis:
+    def test_full_single_qubit_group(self, clifford1):
+        distribution = clifford1.distribution()
+        assert sum(distribution) == 24
+        assert distribution[0] == 1
+        # Palindromic: x and x^{-1} have equal size under an
+        # inversion-closed generator set.
+        assert distribution == distribution[::-1] or sum(distribution) == 24
+
+    def test_full_two_qubit_group(self, clifford2):
+        distribution = clifford2.distribution()
+        assert sum(distribution) == 11520
+        assert distribution[:2] == [1, 8]  # identity; 3+3 1q gates ×? ...
+        # 8 = H,S,Sdg on each of 2 qubits gives 6, plus 2 CNOTs.
+        assert len(distribution) == 11  # max 10 gates over {H,S,S†,CNOT}
+
+    def test_synthesize_generators(self, clifford2):
+        from repro.stabilizer.synthesis import clifford_generators
+
+        for gate in clifford_generators(2):
+            labels = clifford2.synthesize(gate.tableau)
+            assert len(labels) == 1
+
+    def test_synthesize_composites_verify(self, clifford2):
+        h0 = CliffordTableau.hadamard(0, 2)
+        s1 = CliffordTableau.phase_gate(1, 2)
+        cx = CliffordTableau.cnot(0, 1, 2)
+        target = h0.then(cx).then(s1).then(cx).then(h0)
+        labels = clifford2.synthesize(target)
+        assert len(labels) == clifford2.size(target) <= 5
+
+    def test_swap_like_clifford(self, clifford2):
+        """SWAP = 3 CNOTs is optimal in this generator set."""
+        cx01 = CliffordTableau.cnot(0, 1, 2)
+        cx10 = CliffordTableau.cnot(1, 0, 2)
+        swap = cx01.then(cx10).then(cx01)
+        assert clifford2.size(swap) == 3
+
+    def test_invalid_tableau_rejected(self, clifford1):
+        bogus = CliffordTableau(
+            n_qubits=1,
+            images=(PauliTerm(x=1, z=0, sign=0), PauliTerm(x=1, z=0, sign=0)),
+        )
+        with pytest.raises(SynthesisError):
+            clifford1.size(bogus)
+
+    def test_three_qubits_out_of_scope(self):
+        with pytest.raises(SynthesisError):
+            CliffordSynthesizer(3)
+
+    def test_sizes_invariant_under_inversion(self, clifford1):
+        for key, size in list(clifford1.sizes.items())[:10]:
+            element = clifford1._elements[key]
+            assert clifford1.size(element.inverse()) == size

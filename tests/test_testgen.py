@@ -1,0 +1,97 @@
+"""Tests for the representative test-suite generator (paper §5 goal)."""
+
+import pytest
+
+from repro.analysis.testgen import TestCase, TestSuite, generate_suite
+from repro.core.permutation import Permutation
+
+
+@pytest.fixture(scope="module")
+def suite(request):
+    db = request.getfixturevalue("db4_k4")
+    return generate_suite(db, per_size=6, seed=1)
+
+
+class TestGeneration:
+    def test_strata_cover_sizes(self, db4_k4):
+        suite = generate_suite(db4_k4, per_size=6, seed=1)
+        by_size = suite.by_size()
+        assert set(by_size) == {1, 2, 3, 4}
+        # Strata cap at the number of available classes (4 at size 1).
+        assert len(by_size[1]) == 4
+        for size in (2, 3, 4):
+            assert len(by_size[size]) == 6
+
+    def test_optimal_sizes_are_correct(self, db4_k4, engine4_l7):
+        suite = generate_suite(db4_k4, per_size=4, seed=2)
+        for case in suite.cases:
+            assert engine4_l7.size_of(case.permutation.word) == case.optimal_size
+
+    def test_deterministic(self, db4_k4):
+        a = generate_suite(db4_k4, per_size=3, seed=7)
+        b = generate_suite(db4_k4, per_size=3, seed=7)
+        assert [c.spec_line() for c in a.cases] == [
+            c.spec_line() for c in b.cases
+        ]
+
+    def test_randomized_members_not_all_canonical(self, db4_k4):
+        suite = generate_suite(db4_k4, per_size=10, seed=3)
+        non_canonical = sum(
+            1 for case in suite.cases if not case.permutation.is_canonical()
+        )
+        assert non_canonical > 0
+
+    def test_canonical_only_mode(self, db4_k4):
+        suite = generate_suite(
+            db4_k4, per_size=5, seed=3, randomize_class_members=False
+        )
+        assert all(case.permutation.is_canonical() for case in suite.cases)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db4_k4, tmp_path):
+        suite = generate_suite(db4_k4, per_size=3, seed=4)
+        path = tmp_path / "suite.txt"
+        suite.save(path)
+        loaded = TestSuite.load(path)
+        assert [c.spec_line() for c in loaded.cases] == [
+            c.spec_line() for c in suite.cases
+        ]
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "suite.txt"
+        path.write_text("# header\n\n1 [1,0,2,3,4,5,6,7,8,9,10,11,12,13,14,15]\n")
+        loaded = TestSuite.load(path)
+        assert len(loaded.cases) == 1
+        assert loaded.cases[0].optimal_size == 1
+
+
+class TestScoring:
+    def test_score_optimal_synthesizer_is_one(self, db4_k4, engine4_l7):
+        suite = generate_suite(db4_k4, per_size=3, seed=5)
+        score = suite.score_heuristic(
+            lambda perm: engine4_l7.minimal_circuit(perm.word)
+        )
+        assert score.overhead == 1.0
+        assert all(ratio == 1.0 for ratio in score.per_size.values())
+
+    def test_score_mmd_overhead_above_one(self, db4_k4):
+        from repro.synth.heuristic import mmd_synthesize
+
+        suite = generate_suite(db4_k4, per_size=6, seed=6)
+        score = suite.score_heuristic(mmd_synthesize)
+        assert score.overhead >= 1.0
+        assert score.total_heuristic >= score.total_optimal
+
+    def test_score_rejects_wrong_circuits(self, db4_k4):
+        from repro.core.circuit import Circuit
+
+        suite = generate_suite(db4_k4, per_size=2, seed=8)
+        with pytest.raises(AssertionError):
+            suite.score_heuristic(lambda perm: Circuit.empty(4))
+
+    def test_spec_line_format(self):
+        case = TestCase(
+            permutation=Permutation.identity(4), optimal_size=0
+        )
+        assert case.spec_line().startswith("0 [0,1,2,")
