@@ -4,6 +4,8 @@ Subcommands:
 
 * ``synth SPEC``      -- synthesize an optimal circuit for a spec string.
 * ``build-db``        -- pre-compute and cache the BFS database.
+* ``serve``           -- run the long-lived synthesis daemon (TCP/stdio).
+* ``query``           -- query a running daemon.
 * ``linear``          -- Table 5: all 4-bit linear reversible functions.
 * ``random N``        -- size distribution of N random permutations.
 * ``benchmarks``      -- synthesize the Table 6 benchmark suite.
@@ -103,6 +105,72 @@ def cmd_build_db(args) -> int:
     for row in stats.format_rows():
         print(row)
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, SynthesisService, TCPDaemon, serve_stdio
+
+    config = ServiceConfig(
+        n_wires=args.wires,
+        k=args.k,
+        max_list_size=args.lists,
+        workers=args.workers,
+        batch_window=args.batch_window / 1000.0,
+        max_batch=args.max_batch,
+        result_cache_path=args.result_cache,
+        db_cache_dir=False if args.no_cache else None,
+        verbose=not args.stdio,
+    )
+    service = SynthesisService.from_config(config)
+    if args.stdio:
+        serve_stdio(service)
+        return 0
+    daemon = TCPDaemon(service, host=args.host, port=args.port)
+    host, port = daemon.address
+    print(
+        f"repro daemon listening on {host}:{port} "
+        f"(n={args.wires}, k={args.k}, L={service.handle.max_size}, "
+        f"workers={args.workers})",
+        flush=True,
+    )
+    daemon.serve_forever()
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("daemon draining")
+            return 0
+        specs = list(args.spec)
+        if args.stdin:
+            specs.extend(line.strip() for line in sys.stdin if line.strip())
+        if not specs:
+            print("error: no specs given (pass specs or --stdin)", file=sys.stderr)
+            return 2
+        failures = 0
+        for spec in specs:
+            try:
+                if args.size_only:
+                    print(f"{spec} -> {client.size(spec)}")
+                else:
+                    result = client.synth(spec)
+                    print(
+                        f"{spec} -> {result['size']} gates "
+                        f"[{result['source']}]: {result['circuit']}"
+                    )
+            except SizeLimitExceededError as exc:
+                print(f"{spec} -> size > bound (lower bound {exc.lower_bound})")
+                failures += 1
+        return 1 if failures else 0
 
 
 def cmd_linear(args) -> int:
@@ -265,6 +333,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--force", action="store_true")
     _add_synth_options(p_build)
     p_build.set_defaults(func=cmd_build_db)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived synthesis daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7878, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve the JSONL protocol over stdin/stdout instead of TCP",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for hard queries (0 = inline)",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        help="batch coalescing window in milliseconds (default 2)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=256, help="maximum batch size"
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        help="persistent result-cache JSON file (loaded at start, "
+        "saved at shutdown)",
+    )
+    _add_synth_options(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_query = sub.add_parser("query", help="query a running daemon")
+    p_query.add_argument("spec", nargs="*", help="spec strings to synthesize")
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, default=7878)
+    p_query.add_argument("--timeout", type=float, default=60.0)
+    p_query.add_argument(
+        "--size-only", action="store_true", help="only report gate counts"
+    )
+    p_query.add_argument(
+        "--stdin", action="store_true", help="read extra specs from stdin"
+    )
+    p_query.add_argument(
+        "--stats", action="store_true", help="print the daemon's stats"
+    )
+    p_query.add_argument(
+        "--shutdown", action="store_true", help="drain and stop the daemon"
+    )
+    p_query.set_defaults(func=cmd_query)
 
     p_linear = sub.add_parser("linear", help="Table 5: linear functions")
     p_linear.add_argument("--wires", type=int, default=4)

@@ -44,6 +44,27 @@ class DatabaseError(ReproError):
     """Raised on database construction, persistence, or lookup problems."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the synthesis service layer."""
+
+
+class ProtocolError(ServiceError):
+    """Raised when a service request or response line is malformed.
+
+    Carries the machine-readable error ``kind`` used in the wire-format
+    error envelope (see :mod:`repro.service.protocol`).
+    """
+
+    def __init__(self, message: str, kind: str = "protocol"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class ServiceShutdownError(ServiceError):
+    """Raised when a request is submitted to a service that is draining
+    or has already stopped."""
+
+
 class UnsatisfiableError(ReproError):
     """Raised by the SAT subsystem when a formula is proven unsatisfiable
     and the caller asked for a model."""

@@ -1,0 +1,40 @@
+"""Synthesis service layer: a long-lived daemon over the optimal database.
+
+The paper's database is "compute once, query forever"; this package is
+the *query forever* half.  A daemon loads the :class:`OptimalDatabase`
+once, then serves synthesis queries over a newline-delimited-JSON
+protocol (TCP or stdio) with batch coalescing through the vectorized
+lookup path, a result cache keyed by canonical representative, a
+multiprocessing pool for hard queries, and a metrics registry exposed
+via the ``stats`` request.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.batching import BatchQueue, PendingRequest
+from repro.service.cache import CacheHit, ResultCache
+from repro.service.client import ServiceClient
+from repro.service.daemon import (
+    ServiceConfig,
+    SynthesisService,
+    TCPDaemon,
+    serve_stdio,
+)
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.workers import HardQueryPool, HardResult
+
+__all__ = [
+    "BatchQueue",
+    "CacheHit",
+    "Counter",
+    "Gauge",
+    "HardQueryPool",
+    "HardResult",
+    "Histogram",
+    "MetricsRegistry",
+    "PendingRequest",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "SynthesisService",
+    "TCPDaemon",
+    "serve_stdio",
+]

@@ -1,0 +1,135 @@
+"""Request queue with batch coalescing.
+
+The daemon's dispatcher does not process requests one at a time: it
+blocks until at least one request is pending, then waits a short
+*coalescing window* for concurrent arrivals and drains everything into
+one batch (bounded by ``max_batch``).  The batch then flows through the
+vectorized database path -- one ``canonical_np`` + ``lookup_batch`` call
+for the whole group instead of per-request ``size_of`` calls -- which is
+where the service's throughput under concurrent load comes from.
+
+The window only costs latency when traffic is concurrent enough to
+benefit: the very first request in an idle queue is dispatched after at
+most ``coalesce_window`` seconds, and a full batch dispatches
+immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import ServiceShutdownError
+
+
+class PendingRequest:
+    """A request parked in the queue with its completion signal.
+
+    The connection thread that enqueued it blocks on :meth:`wait`; the
+    dispatcher fulfills it with :meth:`resolve`.
+    """
+
+    __slots__ = ("request", "enqueued_at", "response", "_event")
+
+    def __init__(self, request) -> None:
+        self.request = request
+        self.enqueued_at = time.perf_counter()
+        self.response: "dict | None" = None
+        self._event = threading.Event()
+
+    def resolve(self, response: dict) -> None:
+        self.response = response
+        self._event.set()
+
+    def wait(self, timeout: "float | None" = None) -> "dict | None":
+        if not self._event.wait(timeout):
+            return None
+        return self.response
+
+
+class BatchQueue:
+    """Bounded FIFO of :class:`PendingRequest` with coalesced dequeue."""
+
+    def __init__(
+        self,
+        max_batch: int = 256,
+        coalesce_window: float = 0.002,
+        max_depth: int = 100_000,
+    ) -> None:
+        self.max_batch = max_batch
+        self.coalesce_window = coalesce_window
+        self.max_depth = max_depth
+        self._items: "deque[PendingRequest]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: PendingRequest) -> None:
+        """Enqueue; raises :class:`ServiceShutdownError` once closed."""
+        with self._not_empty:
+            if self._closed:
+                raise ServiceShutdownError(
+                    "service is shutting down; request rejected"
+                )
+            if len(self._items) >= self.max_depth:
+                raise ServiceShutdownError(
+                    f"request queue is full ({self.max_depth} pending)"
+                )
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def next_batch(self) -> "list[PendingRequest] | None":
+        """Block for work, coalesce concurrent arrivals, return a batch.
+
+        Returns None only when the queue is closed *and* fully drained,
+        which is the dispatcher's signal to exit.  After close, remaining
+        items keep coming out in batches (graceful drain).
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            # Something is pending.  Give concurrent producers a short
+            # window to pile on, unless we already have a full batch or
+            # are draining a closed queue (no new producers can arrive).
+            if (
+                not self._closed
+                and self.coalesce_window > 0
+                and len(self._items) < self.max_batch
+            ):
+                deadline = time.monotonic() + self.coalesce_window
+                while len(self._items) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+            batch = []
+            while self._items and len(batch) < self.max_batch:
+                batch.append(self._items.popleft())
+            return batch
+
+    def close(self) -> None:
+        """Stop accepting new requests; wake the dispatcher to drain."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_remaining(self) -> "list[PendingRequest]":
+        """Remove and return everything still queued (after close)."""
+        with self._not_empty:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+
+__all__ = ["BatchQueue", "PendingRequest"]

@@ -1,0 +1,262 @@
+"""Result cache for the synthesis service, keyed by canonical class.
+
+Every key is ``(n_wires, canonical_word)``, so all (up to 48) members of
+an equivalence class share one entry -- the paper's Section 3.2 symmetry
+applied to serving.  An entry records what is class-invariant (the
+optimal size, or the proven lower bound for out-of-reach classes) plus a
+small map of exact words to their reconstructed circuit strings.  Sizes
+transfer across the whole class for free; circuits are per-word because
+relabeling/inversion changes the gate list, and byte-identical output to
+a direct :meth:`OptimalSynthesizer.search` matters more than the few
+peels saved.
+
+The cache is LRU over class entries, thread-safe, and optionally
+persistent: ``save()`` writes a versioned JSON file that ``load()``
+(or the constructor) replays, so a restarted daemon starts warm.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ServiceError
+
+#: On-disk format version; bump on incompatible change.
+CACHE_FORMAT_VERSION = 1
+
+#: Size ceiling for the per-entry circuit map (class size is <= 48).
+MAX_CIRCUITS_PER_ENTRY = 48
+
+
+@dataclass
+class CacheEntry:
+    """One equivalence class worth of results.
+
+    ``size`` is None for classes proven out of reach, in which case
+    ``lower_bound``/``max_size`` record the proof context (a later query
+    against a *deeper* engine must not trust a stale bound).
+    """
+
+    size: "int | None"
+    lower_bound: "int | None" = None
+    max_size: "int | None" = None
+    circuits: dict[int, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """What the cache knows about one queried word."""
+
+    size: "int | None"
+    lower_bound: "int | None"
+    circuit: "str | None"
+
+
+class ResultCache:
+    """LRU + persistent map: (n_wires, canonical word) -> CacheEntry."""
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        path: "str | Path | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.path = Path(path) if path else None
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[int, int], CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if self.path and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookups / stores
+    # ------------------------------------------------------------------
+    def lookup(
+        self, n_wires: int, canon: int, word: "int | None" = None
+    ) -> "CacheHit | None":
+        """Size (and circuit for ``word``, when stored) of a class.
+
+        Returns None on a complete miss.  Touches the entry for LRU.
+        """
+        key = (n_wires, canon)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            circuit = entry.circuits.get(word) if word is not None else None
+            return CacheHit(
+                size=entry.size,
+                lower_bound=entry.lower_bound,
+                circuit=circuit,
+            )
+
+    def store_size(self, n_wires: int, canon: int, size: int) -> None:
+        """Record the optimal size of a class."""
+        with self._lock:
+            self._touch(n_wires, canon).size = size
+
+    def store_bound(
+        self, n_wires: int, canon: int, lower_bound: int, max_size: int
+    ) -> None:
+        """Record a proven lower bound for an out-of-reach class."""
+        with self._lock:
+            entry = self._touch(n_wires, canon)
+            entry.lower_bound = lower_bound
+            entry.max_size = max_size
+
+    def store_circuit(
+        self, n_wires: int, canon: int, word: int, size: int, circuit: str
+    ) -> None:
+        """Record a reconstructed circuit for one exact word of a class."""
+        with self._lock:
+            entry = self._touch(n_wires, canon)
+            entry.size = size
+            if len(entry.circuits) < MAX_CIRCUITS_PER_ENTRY or word in entry.circuits:
+                entry.circuits[word] = circuit
+
+    def bound_for(self, n_wires: int, canon: int, engine_max_size: int) -> "int | None":
+        """A cached lower bound, only if proved at >= this engine depth."""
+        key = (n_wires, canon)
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is None
+                or entry.lower_bound is None
+                or entry.max_size is None
+                or entry.max_size < engine_max_size
+            ):
+                return None
+            self._entries.move_to_end(key)
+            return entry.lower_bound
+
+    def _touch(self, n_wires: int, canon: int) -> CacheEntry:
+        """Get-or-create an entry, refresh LRU order, evict if over."""
+        key = (n_wires, canon)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(size=None)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> "float | None":
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
+    def stats(self) -> dict:
+        with self._lock:
+            circuits = sum(len(e.circuits) for e in self._entries.values())
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "circuits": circuits,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate(),
+            }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path | None" = None) -> Path:
+        """Write all entries as versioned JSON; returns the path used."""
+        target = Path(path) if path else self.path
+        if target is None:
+            raise ServiceError("no cache path configured to save to")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            entries = [
+                {
+                    "n": n_wires,
+                    "canon": f"{canon:#x}",
+                    "size": entry.size,
+                    "lower_bound": entry.lower_bound,
+                    "max_size": entry.max_size,
+                    "circuits": {
+                        f"{word:#x}": circuit
+                        for word, circuit in entry.circuits.items()
+                    },
+                }
+                for (n_wires, canon), entry in self._entries.items()
+            ]
+        payload = {"version": CACHE_FORMAT_VERSION, "entries": entries}
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, separators=(",", ":")))
+        tmp.replace(target)
+        return target
+
+    def load(self, path: "str | Path") -> int:
+        """Replay a saved cache file; returns the number of entries added.
+
+        A corrupt or version-mismatched file is rejected with
+        :class:`ServiceError` rather than silently emptying the cache.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"result cache file {path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ServiceError(
+                f"result cache file {path} is malformed: missing 'entries'"
+            )
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            raise ServiceError(
+                f"result cache file {path} has unsupported version "
+                f"{payload.get('version')!r} (expected {CACHE_FORMAT_VERSION})"
+            )
+        added = 0
+        with self._lock:
+            for record in payload["entries"]:
+                try:
+                    key = (int(record["n"]), int(record["canon"], 16))
+                    entry = CacheEntry(
+                        size=record.get("size"),
+                        lower_bound=record.get("lower_bound"),
+                        max_size=record.get("max_size"),
+                        circuits={
+                            int(word, 16): circuit
+                            for word, circuit in record.get(
+                                "circuits", {}
+                            ).items()
+                        },
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ServiceError(
+                        f"result cache file {path} has a malformed entry: {exc}"
+                    ) from exc
+                self._entries[key] = entry
+                added += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return added
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "MAX_CIRCUITS_PER_ENTRY",
+    "CacheEntry",
+    "CacheHit",
+    "ResultCache",
+]

@@ -1,0 +1,148 @@
+"""Blocking JSONL client for the synthesis daemon.
+
+One socket, one request per call; thread-unsafe by design (each client
+thread opens its own connection, which is also what exercises the
+daemon's batch coalescing).  Errors come back as the library exceptions
+they encode -- a ``size_limit`` envelope raises
+:class:`SizeLimitExceededError` with the proven bound, exactly like the
+in-process API.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+
+
+class ServiceClient:
+    """Talk to a running daemon over TCP.
+
+    Usage::
+
+        with ServiceClient("127.0.0.1", 7878) as client:
+            result = client.synth("[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]")
+            print(result["size"], result["circuit"])
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: "socket.socket | None" = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot connect to daemon at {self.host}:{self.port}: {exc}"
+                ) from exc
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Raw request plumbing
+    # ------------------------------------------------------------------
+    def request_raw(self, payload: dict) -> dict:
+        """Send one already-shaped request dict, return the envelope."""
+        self.connect()
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        try:
+            self._file.write(line.encode("utf-8"))
+            self._file.flush()
+            response = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"connection to daemon lost: {exc}") from exc
+        if not response:
+            self.close()
+            raise ServiceError("daemon closed the connection")
+        return protocol.decode_response(response)
+
+    def request(self, op: str, **fields) -> dict:
+        """Send a request, raise on error envelope, return the result."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        envelope = self.request_raw(payload)
+        if envelope.get("id") != self._next_id:
+            raise ProtocolError(
+                f"response id {envelope.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not envelope.get("ok"):
+            protocol.raise_for_error(envelope.get("error", {}))
+        return envelope.get("result", {})
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def synth(self, spec, wires: "int | None" = None) -> dict:
+        """Optimal circuit for a spec; raises SizeLimitExceededError when
+        the function is out of the daemon's reach."""
+        return self.request("synth", **self._spec_fields(spec, wires))
+
+    def size(self, spec, wires: "int | None" = None) -> int:
+        """Optimal gate count for a spec."""
+        return int(
+            self.request("size", **self._spec_fields(spec, wires))["size"]
+        )
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit."""
+        return self.request("shutdown")
+
+    @staticmethod
+    def _spec_fields(spec, wires: "int | None") -> dict:
+        if isinstance(spec, int):
+            return {"word": protocol.word_to_hex(spec), "wires": wires}
+        if hasattr(spec, "word") and hasattr(spec, "n_wires"):  # Permutation
+            return {
+                "word": protocol.word_to_hex(spec.word),
+                "wires": spec.n_wires,
+            }
+        if not isinstance(spec, str):
+            spec = list(spec)
+        return {"spec": spec, "wires": wires}
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,575 @@
+"""The synthesis daemon: load the database once, serve many queries.
+
+Architecture::
+
+    TCP / stdio transports          (one thread per connection)
+        -> SynthesisService.submit  (parks a PendingRequest, blocks)
+            -> BatchQueue           (batch coalescing window)
+                -> dispatcher thread
+                    -> vectorized lookup: canonical_np + lookup_batch
+                       over the WHOLE batch (one numpy pass)
+                    -> ResultCache keyed by canonical representative
+                    -> fast path: circuit peeling (size <= k)
+                    -> hard path: HardQueryPool (A_i-list scans)
+
+Control ops (``ping``/``stats``/``shutdown``) are answered synchronously
+on the connection thread; only synthesis work is queued.  Graceful
+shutdown closes the queue (new requests get a ``shutdown`` error
+envelope), drains everything already accepted, persists the result
+cache, and only then stops the transports.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import __version__
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceShutdownError,
+    SizeLimitExceededError,
+)
+from repro.service import protocol
+from repro.service.batching import BatchQueue, PendingRequest
+from repro.service.cache import ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.workers import HardQueryPool
+from repro.synth.search import peel_minimal_circuit
+from repro.synth.synthesizer import OptimalSynthesizer, SynthesisHandle
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to build and tune a daemon."""
+
+    n_wires: int = 4
+    k: int = 6
+    max_list_size: "int | None" = None
+    workers: int = 0
+    batch_window: float = 0.002
+    max_batch: int = 256
+    cache_capacity: int = 65536
+    result_cache_path: "str | None" = None
+    db_cache_dir: object = None  # None = default dir, False = no persistence
+    verbose: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class SynthesisService:
+    """Long-lived serving core shared by the TCP and stdio transports."""
+
+    def __init__(
+        self,
+        handle: SynthesisHandle,
+        config: "ServiceConfig | None" = None,
+        cache: "ResultCache | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.handle = handle
+        self.config = config or ServiceConfig(
+            n_wires=handle.n_wires, k=handle.k,
+            max_list_size=handle.max_list_size,
+        )
+        self.cache = cache if cache is not None else ResultCache(
+            capacity=self.config.cache_capacity,
+            path=self.config.result_cache_path,
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue = BatchQueue(
+            max_batch=self.config.max_batch,
+            coalesce_window=self.config.batch_window,
+        )
+        self.pool: "HardQueryPool | None" = None
+        self._dispatcher: "threading.Thread | None" = None
+        self._shutdown_hooks: list = []
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_requested = False
+        self._shutdown_started = False
+        self._stopped = threading.Event()
+        self._started_at: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: ServiceConfig) -> "SynthesisService":
+        """Prepare the synthesizer (build/load the database) and wire up
+        the service around its warm handle."""
+        synth = OptimalSynthesizer(
+            n_wires=config.n_wires,
+            k=config.k,
+            max_list_size=config.max_list_size,
+            cache_dir=config.db_cache_dir,
+            verbose=config.verbose,
+        )
+        handle = synth.handle()
+        config.max_list_size = handle.max_list_size
+        return cls(handle, config=config)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SynthesisService":
+        """Create the worker pool and start the dispatcher.
+
+        The pool is created first, before any serving threads exist:
+        fork-starting workers from a multithreaded process is unsafe.
+        """
+        if self._dispatcher is not None:
+            return self
+        self.pool = HardQueryPool(self.handle, processes=self.config.workers)
+        self._started_at = time.monotonic()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    @property
+    def stopping(self) -> bool:
+        return self._shutdown_requested or self._shutdown_started
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def add_shutdown_hook(self, hook) -> None:
+        """Register a callable run at the end of graceful shutdown
+        (transports use this to stop accepting)."""
+        self._shutdown_hooks.append(hook)
+
+    def shutdown(self, *, save_cache: bool = True) -> None:
+        """Drain pending requests, persist the cache, stop transports.
+
+        Idempotent and safe to call from any thread except the
+        dispatcher itself.
+        """
+        with self._shutdown_lock:
+            if self._shutdown_started:
+                self._stopped.wait()
+                return
+            self._shutdown_started = True
+        self.queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        # Anything that raced past close without being dispatched.
+        for pending in self.queue.drain_remaining():
+            pending.resolve(self._error_response(
+                pending.request.id,
+                ServiceShutdownError("service stopped before dispatch"),
+            ))
+        if self.pool is not None:
+            self.pool.close()
+        if save_cache and self.cache.path is not None:
+            self.cache.save()
+        for hook in self._shutdown_hooks:
+            try:
+                hook()
+            except Exception:
+                pass
+        self._stopped.set()
+
+    def request_shutdown(self) -> None:
+        """Trigger graceful shutdown from a request-handling thread.
+
+        Sets :attr:`stopping` synchronously (so transports stop reading
+        right after acknowledging) and drains on a background thread.
+        """
+        self._shutdown_requested = True
+        threading.Thread(
+            target=self.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    def handle_line(self, line: "str | bytes") -> str:
+        """Decode one protocol line, execute it, encode the response."""
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            self.metrics.counter("responses_error").inc()
+            return protocol.encode_response(
+                None, error=protocol.error_envelope(exc)
+            )
+        return self.submit(request)
+
+    def submit(self, request: "protocol.Request") -> str:
+        """Execute one decoded request and return the response line."""
+        self.metrics.counter("requests_total").inc()
+        self.metrics.counter(f"requests_{request.op}").inc()
+        if request.op == "ping":
+            return protocol.encode_response(
+                request.id, result={"pong": True, "version": __version__}
+            )
+        if request.op == "stats":
+            return protocol.encode_response(request.id, result=self.stats())
+        if request.op == "shutdown":
+            self.request_shutdown()
+            return protocol.encode_response(
+                request.id, result={"draining": True}
+            )
+        # synth / size: park on the queue and wait for the dispatcher.
+        pending = PendingRequest(request)
+        try:
+            self.queue.put(pending)
+        except ServiceShutdownError as exc:
+            return self._error_response(request.id, exc)
+        self.metrics.gauge("queue_depth").set(self.queue.depth)
+        response = pending.wait()
+        if response is None:  # pragma: no cover - defensive
+            return self._error_response(
+                request.id, ServiceError("request was never resolved")
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Config + metrics + cache state (the ``stats`` op payload)."""
+        batch = self.metrics.histogram("batch_size").snapshot()
+        return {
+            "version": __version__,
+            "uptime": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else None
+            ),
+            "config": {
+                "n_wires": self.handle.n_wires,
+                "k": self.handle.k,
+                "max_list_size": self.handle.max_list_size,
+                "max_size": self.handle.max_size,
+                "workers": self.config.workers,
+                "batch_window": self.config.batch_window,
+                "max_batch": self.config.max_batch,
+            },
+            "queue_depth": self.queue.depth,
+            "mean_batch_size": batch.get("mean"),
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch()
+            if batch is None:
+                return
+            started = time.perf_counter()
+            for pending in batch:
+                self.metrics.histogram("queue_wait_seconds").observe(
+                    started - pending.enqueued_at
+                )
+            self.metrics.histogram("batch_size").observe(len(batch))
+            self.metrics.gauge("queue_depth").set(self.queue.depth)
+            try:
+                self._process_batch(batch)
+            except Exception as exc:  # pragma: no cover - defensive
+                for pending in batch:
+                    if pending.response is None:
+                        pending.resolve(
+                            self._error_response(pending.request.id, exc)
+                        )
+            self.metrics.histogram("batch_seconds").observe(
+                time.perf_counter() - started
+            )
+
+    def _process_batch(self, batch: "list[PendingRequest]") -> None:
+        """Resolve a coalesced batch through the vectorized path."""
+        db = self.handle.database
+        n = self.handle.n_wires
+        # Phase 1: parse specs; protocol/spec failures resolve immediately.
+        work: list[tuple[PendingRequest, int]] = []
+        for pending in batch:
+            request = pending.request
+            if request.wires is not None and request.wires != n:
+                pending.resolve(self._error_response(
+                    request.id,
+                    ProtocolError(
+                        f"this daemon serves n_wires={n}, "
+                        f"got wires={request.wires}",
+                        kind="invalid_spec",
+                    ),
+                ))
+                continue
+            try:
+                perm = Permutation.coerce(request.spec_value(), n)
+            except ReproError as exc:
+                pending.resolve(self._error_response(request.id, exc))
+                continue
+            except (TypeError, ValueError) as exc:
+                pending.resolve(self._error_response(
+                    request.id,
+                    ProtocolError(f"unparseable spec: {exc}", kind="invalid_spec"),
+                ))
+                continue
+            work.append((pending, perm.word))
+        if not work:
+            return
+        # Phase 2: one vectorized canonicalization + hash probe for the
+        # whole batch (this is the point of coalescing).
+        lookup_started = time.perf_counter()
+        words = np.array([w for _, w in work], dtype=np.uint64)
+        keys, sizes = db.lookup_with_keys(words)
+        self.metrics.histogram("lookup_seconds").observe(
+            time.perf_counter() - lookup_started
+        )
+        # Phase 3: resolve per request from cache / db; collect hard ones.
+        hard: list[tuple[PendingRequest, int, int]] = []
+        for (pending, word), canon, size in zip(
+            work, keys.tolist(), sizes.tolist()
+        ):
+            request = pending.request
+            hit = self.cache.lookup(n, canon, word)
+            if hit is not None and hit.size is not None:
+                if request.op == "size" or hit.circuit is not None:
+                    self.metrics.counter("served_from_cache").inc()
+                    pending.resolve(self._ok_synthesis(
+                        request, word, hit.size, hit.circuit, "cache"
+                    ))
+                    continue
+            if size != db.MISSING:
+                self.metrics.counter("served_from_db").inc()
+                self._resolve_db_hit(pending, word, canon, size)
+                continue
+            bound = self.cache.bound_for(n, canon, self.handle.max_size)
+            if bound is not None:
+                self.metrics.counter("served_from_cache").inc()
+                pending.resolve(self._error_response(
+                    request.id,
+                    SizeLimitExceededError(
+                        f"function requires more than {self.handle.max_size} "
+                        "gates (cached proof)",
+                        lower_bound=bound,
+                    ),
+                ))
+                continue
+            hard.append((pending, word, canon))
+        # Phase 4: hard queries fan out to the worker pool.
+        if hard:
+            scan_started = time.perf_counter()
+            self.metrics.counter("hard_queries").inc(len(hard))
+            results = self.pool.solve_many([w for _, w, _ in hard])
+            self.metrics.histogram("scan_seconds").observe(
+                time.perf_counter() - scan_started
+            )
+            for (pending, word, canon), result in zip(hard, results):
+                request = pending.request
+                if result.lower_bound is not None:
+                    self.cache.store_bound(
+                        n, canon, result.lower_bound, self.handle.max_size
+                    )
+                    pending.resolve(self._error_response(
+                        request.id,
+                        SizeLimitExceededError(
+                            result.message, lower_bound=result.lower_bound
+                        ),
+                    ))
+                    continue
+                self.cache.store_circuit(
+                    n, canon, word, result.size, result.circuit
+                )
+                pending.resolve(self._ok_synthesis(
+                    request, word, result.size, result.circuit, "scan",
+                    lists_scanned=result.lists_scanned,
+                    candidates_tested=result.candidates_tested,
+                ))
+
+    def _resolve_db_hit(
+        self, pending: PendingRequest, word: int, canon: int, size: int
+    ) -> None:
+        """Answer a request whose class is in the database (size <= k)."""
+        request = pending.request
+        n = self.handle.n_wires
+        self.cache.store_size(n, canon, size)
+        if request.op == "size":
+            pending.resolve(self._ok_synthesis(request, word, size, None, "db"))
+            return
+        peel_started = time.perf_counter()
+        try:
+            circuit = peel_minimal_circuit(word, self.handle.database)
+        except ReproError as exc:  # pragma: no cover - inconsistent db
+            pending.resolve(self._error_response(request.id, exc))
+            return
+        self.metrics.histogram("peel_seconds").observe(
+            time.perf_counter() - peel_started
+        )
+        text = str(circuit)
+        self.cache.store_circuit(n, canon, word, size, text)
+        pending.resolve(self._ok_synthesis(request, word, size, text, "db"))
+
+    # ------------------------------------------------------------------
+    # Response shaping
+    # ------------------------------------------------------------------
+    def _ok_synthesis(
+        self,
+        request: "protocol.Request",
+        word: int,
+        size: int,
+        circuit_text: "str | None",
+        source: str,
+        **extra,
+    ) -> str:
+        self.metrics.counter("responses_ok").inc()
+        result = {
+            "spec": Permutation(word, self.handle.n_wires).spec(),
+            "word": protocol.word_to_hex(word),
+            "size": size,
+            "source": source,
+        }
+        if request.op == "synth":
+            result["circuit"] = circuit_text
+            circuit = Circuit.parse(
+                circuit_text if circuit_text != "(identity)" else "",
+                self.handle.n_wires,
+            )
+            result["depth"] = circuit.depth()
+            result["cost"] = circuit.cost()
+        result.update(extra)
+        return protocol.encode_response(request.id, result=result)
+
+    def _error_response(self, request_id, exc: BaseException) -> str:
+        self.metrics.counter("responses_error").inc()
+        return protocol.encode_response(
+            request_id, error=protocol.error_envelope(exc)
+        )
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class _TCPHandler(socketserver.StreamRequestHandler):
+    """One thread per connection; JSONL in, JSONL out."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via e2e test
+        service: SynthesisService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            response = service.handle_line(line.strip())
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                return
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TCPDaemon:
+    """A TCP front-end bound to one :class:`SynthesisService`.
+
+    Binding to port 0 picks an ephemeral port; read it back from
+    :attr:`address` (the end-to-end tests and benchmark do this).
+    """
+
+    def __init__(
+        self,
+        service: SynthesisService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._server = _ThreadingTCPServer((host, port), _TCPHandler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+        service.add_shutdown_hook(self._server.shutdown)
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def start(self) -> "TCPDaemon":
+        """Start the service and serve connections on a background thread."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-tcp",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for ``repro serve`` (Ctrl-C to stop)."""
+        self.service.start()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Gracefully drain the service and close the listener."""
+        self.service.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "TCPDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_stdio(service: SynthesisService, stdin=None, stdout=None) -> int:
+    """Serve the JSONL protocol over stdio (for subprocess embedding).
+
+    Returns the number of lines served.  EOF triggers graceful shutdown,
+    as does a ``shutdown`` request (after its acknowledgement is
+    written).
+    """
+    import sys
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    service.start()
+    served = 0
+    try:
+        for line in stdin:
+            if not line.strip():
+                continue
+            response = service.handle_line(line.strip())
+            stdout.write(response + "\n")
+            stdout.flush()
+            served += 1
+            if service.stopping:
+                break
+    finally:
+        service.shutdown()
+    return served
+
+
+__all__ = [
+    "ServiceConfig",
+    "SynthesisService",
+    "TCPDaemon",
+    "serve_stdio",
+]

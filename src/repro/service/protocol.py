@@ -1,0 +1,192 @@
+"""Newline-delimited-JSON wire protocol for the synthesis daemon.
+
+One request per line, one response per line, in order of completion
+(responses carry the request ``id`` so clients may pipeline).  The same
+framing is used over TCP and over stdio.
+
+Request::
+
+    {"id": 7, "op": "synth", "spec": "[1,2,3,...,0]", "wires": 4}
+
+``op`` is one of:
+
+* ``synth``     -- optimal circuit for ``spec`` (string spec, value list,
+                   or hex packed word in ``word``).
+* ``size``      -- optimal gate count only (no circuit reconstruction).
+* ``stats``     -- metrics snapshot and service configuration.
+* ``ping``      -- liveness check.
+* ``shutdown``  -- ask the daemon to drain pending requests and exit.
+
+Success response::
+
+    {"id": 7, "ok": true, "result": {"size": 4, "circuit": "...", ...}}
+
+Error envelope (never a raw traceback)::
+
+    {"id": 7, "ok": false,
+     "error": {"kind": "size_limit", "message": "...", "lower_bound": 10}}
+
+``kind`` is machine-readable: ``protocol`` (malformed request),
+``invalid_spec``, ``size_limit`` (carries ``lower_bound``), ``shutdown``
+(daemon is draining), or ``internal``.
+
+Packed words travel as hex strings (``"0xfa..."``): 4-wire words use all
+64 bits and JSON numbers above 2**53 would silently lose precision.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceShutdownError,
+    SizeLimitExceededError,
+)
+
+#: Ops understood by the daemon.
+OPS = ("synth", "size", "stats", "ping", "shutdown")
+
+#: Maximum accepted line length (guards the reader against garbage input).
+MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded protocol request."""
+
+    op: str
+    id: object = None
+    spec: object = None
+    word: "str | None" = None
+    wires: "int | None" = None
+    options: dict = field(default_factory=dict)
+
+    def spec_value(self):
+        """The specification payload: ``spec`` or the hex ``word``."""
+        if self.word is not None:
+            return int(self.word, 16)
+        return self.spec
+
+
+def word_to_hex(word: int) -> str:
+    """Render a packed word for the wire."""
+    return f"{word:#x}"
+
+
+def decode_request(line: "str | bytes") -> Request:
+    """Parse one request line; raises :class:`ProtocolError` on garbage."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("request line exceeds 1 MiB")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    wires = payload.get("wires")
+    if wires is not None and (
+        not isinstance(wires, int) or not 1 <= wires <= 4
+    ):
+        raise ProtocolError(f"wires must be an integer in 1..4, got {wires!r}")
+    word = payload.get("word")
+    if word is not None:
+        if not isinstance(word, str):
+            raise ProtocolError("word must be a hex string like '0x1234'")
+        try:
+            int(word, 16)
+        except ValueError as exc:
+            raise ProtocolError(f"word is not valid hex: {word!r}") from exc
+    if op in ("synth", "size") and payload.get("spec") is None and word is None:
+        raise ProtocolError(f"op {op!r} requires a 'spec' or 'word' field")
+    known = {"id", "op", "spec", "word", "wires"}
+    options = {k: v for k, v in payload.items() if k not in known}
+    return Request(
+        op=op,
+        id=payload.get("id"),
+        spec=payload.get("spec"),
+        word=word,
+        wires=wires,
+        options=options,
+    )
+
+
+def encode_response(
+    request_id, result: "dict | None" = None, error: "dict | None" = None
+) -> str:
+    """Render one response line (without the trailing newline)."""
+    if (result is None) == (error is None):
+        raise ValueError("exactly one of result/error must be given")
+    if error is not None:
+        body = {"id": request_id, "ok": False, "error": error}
+    else:
+        body = {"id": request_id, "ok": True, "result": result}
+    return json.dumps(body, separators=(",", ":"), sort_keys=True)
+
+
+def decode_response(line: "str | bytes") -> dict:
+    """Parse one response line into its dict form (client side)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"response is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError("response must be a JSON object with 'ok'")
+    return payload
+
+
+def error_envelope(exc: BaseException) -> dict:
+    """Map an exception to the wire error envelope."""
+    if isinstance(exc, SizeLimitExceededError):
+        return {
+            "kind": "size_limit",
+            "message": str(exc),
+            "lower_bound": exc.lower_bound,
+        }
+    if isinstance(exc, ProtocolError):
+        return {"kind": exc.kind, "message": str(exc)}
+    if isinstance(exc, ServiceShutdownError):
+        return {"kind": "shutdown", "message": str(exc)}
+    if isinstance(exc, ReproError):
+        return {"kind": "invalid_spec", "message": str(exc)}
+    return {"kind": "internal", "message": f"{type(exc).__name__}: {exc}"}
+
+
+def raise_for_error(envelope: dict) -> None:
+    """Client-side: re-raise the library exception an envelope encodes."""
+    kind = envelope.get("kind", "internal")
+    message = envelope.get("message", "service error")
+    if kind == "size_limit":
+        raise SizeLimitExceededError(
+            message, lower_bound=int(envelope.get("lower_bound", 0))
+        )
+    if kind == "shutdown":
+        raise ServiceShutdownError(message)
+    raise ProtocolError(message, kind=kind)
+
+
+__all__ = [
+    "OPS",
+    "MAX_LINE_BYTES",
+    "Request",
+    "decode_request",
+    "decode_response",
+    "encode_response",
+    "error_envelope",
+    "raise_for_error",
+    "word_to_hex",
+]

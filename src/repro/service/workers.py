@@ -1,0 +1,190 @@
+"""Multiprocessing worker pool for hard synthesis queries.
+
+Queries that miss the database (size > k) fall through to the
+``A_i``-list scan, which is seconds of numpy work per query at paper
+scale -- far too slow to serialize on the dispatcher thread.  The pool
+fans those out across processes.
+
+Process start-up strategy:
+
+* Under ``fork`` (Linux), the pool is created *after* the parent has
+  prepared its :class:`SynthesisHandle`; children inherit the database
+  and lists copy-on-write, so start-up is instant and memory is shared.
+  The pool must be created before the daemon starts its serving threads
+  (forking a multithreaded process is unsafe).
+* Under ``spawn`` (macOS/Windows default), each worker re-loads the
+  database from the synthesizer's ``.npz`` cache path and rebuilds the
+  lists in its initializer.
+
+Workers never raise across the process boundary: outcomes (including
+proven lower bounds) travel back as plain tuples, so exceptions with
+non-trivial constructors survive and the parent rebuilds them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from repro.errors import ServiceError, SizeLimitExceededError
+
+#: Handle inherited by fork-started workers (set in the parent just
+#: before the pool is created; visible to children copy-on-write).
+_FORK_HANDLE = None
+
+#: Engine used inside a worker process (either the inherited fork handle
+#: or one rebuilt by the spawn initializer).
+_WORKER_ENGINE = None
+
+
+@dataclass(frozen=True)
+class HardResult:
+    """Outcome of one hard query, safely picklable.
+
+    Either ``size``/``circuit`` are set (success) or ``lower_bound`` is
+    (the scan exhausted and proved size > L).
+    """
+
+    word: int
+    size: "int | None" = None
+    circuit: "str | None" = None
+    lists_scanned: int = 0
+    candidates_tested: int = 0
+    lower_bound: "int | None" = None
+    message: str = ""
+
+    def raise_if_bound(self) -> None:
+        if self.lower_bound is not None:
+            raise SizeLimitExceededError(
+                self.message or "function out of search reach",
+                lower_bound=self.lower_bound,
+            )
+
+
+def _init_fork_worker() -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = _FORK_HANDLE.engine
+
+
+def _init_spawn_worker(n_wires, k, max_list_size, cache_path) -> None:
+    global _WORKER_ENGINE
+    from repro.synth.synthesizer import OptimalSynthesizer
+
+    synth = OptimalSynthesizer(
+        n_wires=n_wires,
+        k=k,
+        max_list_size=max_list_size,
+        cache_dir=cache_path.parent if cache_path else False,
+    )
+    _WORKER_ENGINE = synth.handle().engine
+
+
+def solve_word(word: int) -> HardResult:
+    """Full search for one word on whatever engine is in scope.
+
+    Used both inside pool workers (module-level so it pickles by name)
+    and inline when the pool is disabled.
+    """
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise ServiceError("worker engine not initialized")
+    return solve_with_engine(engine, word)
+
+
+def solve_with_engine(engine, word: int) -> HardResult:
+    """Search ``word`` on ``engine`` and box the outcome."""
+    try:
+        outcome = engine.search(word)
+    except SizeLimitExceededError as exc:
+        return HardResult(
+            word=word, lower_bound=exc.lower_bound, message=str(exc)
+        )
+    return HardResult(
+        word=word,
+        size=outcome.size,
+        circuit=str(outcome.circuit),
+        lists_scanned=outcome.lists_scanned,
+        candidates_tested=outcome.candidates_tested,
+    )
+
+
+class HardQueryPool:
+    """A process pool bound to one prepared synthesis handle.
+
+    With ``processes=0`` the pool degrades to inline execution on the
+    caller's thread (useful for tests and single-core deployments); the
+    API is identical.
+    """
+
+    def __init__(
+        self,
+        handle,
+        processes: int = 0,
+        start_method: "str | None" = None,
+    ) -> None:
+        global _FORK_HANDLE
+        self.handle = handle
+        self.processes = max(0, processes)
+        self._pool = None
+        if self.processes == 0:
+            return
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        if start_method not in methods:
+            raise ServiceError(
+                f"start method {start_method!r} unavailable "
+                f"(have: {', '.join(methods)})"
+            )
+        ctx = multiprocessing.get_context(start_method)
+        if start_method == "fork":
+            _FORK_HANDLE = handle
+            self._pool = ctx.Pool(
+                processes=self.processes, initializer=_init_fork_worker
+            )
+        else:
+            if handle.cache_path is None or not handle.cache_path.exists():
+                raise ServiceError(
+                    "spawn-based worker pool needs a persisted database "
+                    "cache (run with caching enabled)"
+                )
+            self._pool = ctx.Pool(
+                processes=self.processes,
+                initializer=_init_spawn_worker,
+                initargs=(
+                    handle.n_wires,
+                    handle.k,
+                    handle.max_list_size,
+                    handle.cache_path,
+                ),
+            )
+
+    @property
+    def is_parallel(self) -> bool:
+        return self._pool is not None
+
+    def solve_many(self, words: "list[int]") -> "list[HardResult]":
+        """Solve a batch of hard words, preserving input order."""
+        if not words:
+            return []
+        if self._pool is None:
+            return [solve_with_engine(self.handle.engine, w) for w in words]
+        return self._pool.map(solve_word, words, chunksize=1)
+
+    def close(self) -> None:
+        global _FORK_HANDLE
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if _FORK_HANDLE is self.handle:
+            _FORK_HANDLE = None
+
+    def __enter__(self) -> "HardQueryPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["HardQueryPool", "HardResult", "solve_with_engine", "solve_word"]

@@ -2,11 +2,12 @@
 
 from repro.synth.database import OptimalDatabase
 from repro.synth.search import MeetInTheMiddleSearch, peel_minimal_circuit
-from repro.synth.synthesizer import OptimalSynthesizer
+from repro.synth.synthesizer import OptimalSynthesizer, SynthesisHandle
 
 __all__ = [
     "OptimalDatabase",
     "MeetInTheMiddleSearch",
     "OptimalSynthesizer",
+    "SynthesisHandle",
     "peel_minimal_circuit",
 ]

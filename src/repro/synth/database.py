@@ -12,6 +12,7 @@ paper does, and the tests cross-check the two.
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -64,6 +65,35 @@ class OptimalDatabase:
             words = canonical_np(words, self.n_wires)
         return self.table.lookup_batch(words)
 
+    # ------------------------------------------------------------------
+    # Canonical cache keys (service layer hooks)
+    # ------------------------------------------------------------------
+    def canonical_key(self, word: int) -> int:
+        """Canonical representative of ``word``, used as a cache key.
+
+        All (up to ``2 * n!``) members of an equivalence class map to the
+        same key, so a result cache keyed by it is shared across the
+        whole class.
+        """
+        return equivalence.canonical(word, self.n_wires)
+
+    def canonical_keys_batch(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`canonical_key` for a uint64 word array."""
+        words = np.asarray(words, dtype=np.uint64)
+        return canonical_np(words, self.n_wires)
+
+    def lookup_with_keys(
+        self, words: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Canonicalize once and look up sizes: ``(keys, sizes)``.
+
+        Callers that need both the cache key and the size (the batching
+        dispatcher in :mod:`repro.service`) avoid paying the 48-variant
+        canonicalization twice.
+        """
+        keys = self.canonical_keys_batch(words)
+        return keys, self.table.lookup_batch(keys)
+
     def __contains__(self, word: int) -> bool:
         return self.size_of(word) is not None
 
@@ -104,12 +134,48 @@ class OptimalDatabase:
 
     @staticmethod
     def load(path: "str | Path") -> "OptimalDatabase":
-        """Load a database previously written by :meth:`save`."""
+        """Load a database previously written by :meth:`save`.
+
+        Raises :class:`DatabaseError` (never a raw ``KeyError``) when the
+        file is truncated or corrupt: a missing ``meta`` record, a
+        malformed ``meta``, or a missing ``reps_{size}`` array.
+        """
         path = Path(path)
         if not path.exists():
             raise DatabaseError(f"database file not found: {path}")
-        with np.load(path) as data:
-            n_wires, k = (int(v) for v in data["meta"])
+        try:
+            data = np.load(path)
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise DatabaseError(
+                f"database file {path} is not a readable .npz archive: {exc}"
+            ) from exc
+        with data:
+            if "meta" not in data.files:
+                raise DatabaseError(
+                    f"database file {path} is corrupt: missing 'meta' record"
+                )
+            meta = np.asarray(data["meta"]).ravel()
+            if meta.shape[0] != 2:
+                raise DatabaseError(
+                    f"database file {path} is corrupt: 'meta' must hold "
+                    f"[n_wires, k], got {meta.tolist()}"
+                )
+            n_wires, k = (int(v) for v in meta)
+            if not (1 <= n_wires <= 4) or k < 0:
+                raise DatabaseError(
+                    f"database file {path} is corrupt: invalid meta "
+                    f"n_wires={n_wires}, k={k}"
+                )
+            missing = [
+                f"reps_{size}"
+                for size in range(k + 1)
+                if f"reps_{size}" not in data.files
+            ]
+            if missing:
+                raise DatabaseError(
+                    f"database file {path} is truncated: k={k} but missing "
+                    f"{', '.join(missing)}"
+                )
             reps_by_size = [
                 data[f"reps_{size}"].astype(np.uint64) for size in range(k + 1)
             ]
@@ -119,8 +185,18 @@ class OptimalDatabase:
     def from_reps(
         n_wires: int, k: int, reps_by_size: list[np.ndarray]
     ) -> "OptimalDatabase":
-        """Rebuild the hash table from per-size representative arrays."""
+        """Rebuild the hash table from per-size representative arrays.
+
+        Raises :class:`DatabaseError` for an empty ``reps_by_size`` (a
+        valid database always contains at least the identity class of
+        size 0), which would otherwise silently build a degenerate table.
+        """
         total = sum(int(r.shape[0]) for r in reps_by_size)
+        if total == 0:
+            raise DatabaseError(
+                "cannot build a database from empty reps_by_size: a valid "
+                "database contains at least the size-0 identity class"
+            )
         bits = max(8, int(total * 1.7 - 1).bit_length())
         table = LinearProbingTable(capacity_bits=bits)
         for size, reps in enumerate(reps_by_size):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.circuit import Circuit
@@ -38,6 +39,33 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro-optimal4"
+
+
+@dataclass(frozen=True)
+class SynthesisHandle:
+    """A warm, shareable view of a prepared synthesizer.
+
+    The handle bundles the loaded database and the materialized search
+    engine with their parameters, so long-lived consumers (the service
+    daemon, worker processes, benchmarks) can pass the expensive state
+    around without re-triggering :meth:`OptimalSynthesizer.prepare` or
+    carrying the whole facade.  All referenced state is read-only after
+    preparation and safe to share across threads; across *processes* it
+    is shared for free under ``fork`` (copy-on-write) or rebuilt from
+    ``cache_path`` under ``spawn``.
+    """
+
+    n_wires: int
+    k: int
+    max_list_size: int
+    database: OptimalDatabase
+    engine: MeetInTheMiddleSearch
+    cache_path: "Path | None"
+
+    @property
+    def max_size(self) -> int:
+        """Largest optimal size reachable: L = k + max_list_size."""
+        return self.k + self.max_list_size
 
 
 class OptimalSynthesizer:
@@ -127,6 +155,35 @@ class OptimalSynthesizer:
     def max_size(self) -> int:
         """Largest optimal size reachable: L = k + max_list_size."""
         return self.k + self.max_list_size
+
+    # ------------------------------------------------------------------
+    # Warm-start handles
+    # ------------------------------------------------------------------
+    def handle(self) -> SynthesisHandle:
+        """Prepare (if needed) and return a warm :class:`SynthesisHandle`."""
+        self.prepare()
+        return SynthesisHandle(
+            n_wires=self.n_wires,
+            k=self.k,
+            max_list_size=self.max_list_size,
+            database=self._db,
+            engine=self._search,
+            cache_path=self.cache_path,
+        )
+
+    @staticmethod
+    def from_handle(handle: SynthesisHandle) -> "OptimalSynthesizer":
+        """Rehydrate a synthesizer from a warm handle without rebuilding."""
+        synth = OptimalSynthesizer(
+            n_wires=handle.n_wires,
+            k=handle.k,
+            max_list_size=handle.max_list_size,
+            cache_dir=False,
+        )
+        synth.cache_path = handle.cache_path
+        synth._db = handle.database
+        synth._search = handle.engine
+        return synth
 
     # ------------------------------------------------------------------
     # Synthesis API

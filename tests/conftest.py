@@ -53,6 +53,21 @@ def engine4_l9(db4_k5):
     return MeetInTheMiddleSearch(db4_k5, lists)
 
 
+@pytest.fixture(scope="session")
+def handle4(db4_k4, engine4_l7):
+    """Warm synthesis handle over the shared n=4, k=4 state (L = 7)."""
+    from repro.synth.synthesizer import SynthesisHandle
+
+    return SynthesisHandle(
+        n_wires=4,
+        k=4,
+        max_list_size=3,
+        database=db4_k4,
+        engine=engine4_l7,
+        cache_path=None,
+    )
+
+
 @pytest.fixture()
 def rng():
     """Seeded stdlib RNG for test-local sampling."""

@@ -157,3 +157,108 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "24" in out
+
+
+class TestServeAndQuery:
+    SHIFT = "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]"
+
+    def test_parser_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7878 and args.workers == 0 and not args.stdio
+
+    def test_parser_query_flags(self):
+        args = build_parser().parse_args(
+            ["query", self.SHIFT, "--port", "9999", "--size-only"]
+        )
+        assert args.spec == [self.SHIFT]
+        assert args.port == 9999 and args.size_only
+
+    @pytest.fixture()
+    def live_daemon(self, handle4):
+        from repro.service import ServiceConfig, SynthesisService, TCPDaemon
+
+        service = SynthesisService(
+            handle4,
+            config=ServiceConfig(n_wires=4, k=4, max_list_size=3),
+        )
+        daemon = TCPDaemon(service, port=0)
+        daemon.start()
+        yield daemon
+        daemon.stop()
+
+    def test_query_synth(self, capsys, live_daemon):
+        _, port = live_daemon.address
+        code = main(["query", self.SHIFT, "--port", str(port)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 gates" in out
+        assert "TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)" in out
+
+    def test_query_size_only(self, capsys, live_daemon):
+        _, port = live_daemon.address
+        code = main(["query", self.SHIFT, "--size-only", "--port", str(port)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-> 4" in out
+
+    def test_query_stats_and_shutdown(self, capsys, live_daemon):
+        _, port = live_daemon.address
+        code = main(["query", "--stats", "--port", str(port)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"mean_batch_size"' in out
+        code = main(["query", "--shutdown", "--port", str(port)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "draining" in out
+
+    def test_query_no_specs_errors(self, capsys, live_daemon):
+        _, port = live_daemon.address
+        code = main(["query", "--port", str(port)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no specs" in err
+
+    def test_query_connection_refused(self, capsys):
+        code = main(["query", self.SHIFT, "--port", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot connect" in err
+
+    def test_serve_stdio_subprocess(self, tmp_path):
+        """Full process boundary: `repro serve --stdio` as a subprocess."""
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ, REPRO_CACHE_DIR=str(tmp_path))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        requests = [
+            {"id": 1, "op": "ping"},
+            {"id": 2, "op": "synth", "spec": self.SHIFT},
+            {"id": 3, "op": "stats"},
+            {"id": 4, "op": "shutdown"},
+        ]
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro",
+                "serve", "--stdio", "-k", "3", "--lists", "1",
+            ],
+            input="\n".join(json.dumps(r) for r in requests) + "\n",
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        responses = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert len(responses) == 4
+        assert responses[0]["result"]["pong"] is True
+        assert responses[1]["result"]["size"] == 4
+        assert responses[2]["result"]["config"]["k"] == 3
+        assert responses[3]["result"]["draining"] is True

@@ -47,6 +47,46 @@ class TestLookups:
         sizes = db4_k4.sizes_batch(np.array([member], dtype=np.uint64))
         assert sizes.tolist() == [3]
 
+    def test_sizes_batch_assume_canonical_missing_is_255(self, db4_k4):
+        """Canonical words of absent classes come back as MISSING = 255."""
+        from repro.benchmarks_data import get_benchmark
+
+        hwb4 = get_benchmark("hwb4").permutation()  # size 11 > k = 4
+        canon = equivalence.canonical(hwb4.word, 4)
+        present = int(db4_k4.reps_by_size[2][0])
+        sizes = db4_k4.sizes_batch(
+            np.array([canon, present], dtype=np.uint64), assume_canonical=True
+        )
+        assert db4_k4.MISSING == 255
+        assert sizes.tolist() == [255, 2]
+        assert sizes.dtype == np.uint8
+
+    def test_sizes_batch_assume_canonical_skips_folding(self, db4_k4):
+        """With assume_canonical=True a non-canonical member is NOT folded
+        to its representative, so it reads as MISSING."""
+        word = int(db4_k4.reps_by_size[3][7])
+        member = sorted(equivalence.equivalence_class(word, 4))[-1]
+        assert member != word  # genuinely non-canonical
+        sizes = db4_k4.sizes_batch(
+            np.array([member], dtype=np.uint64), assume_canonical=True
+        )
+        assert sizes.tolist() == [db4_k4.MISSING]
+
+    def test_canonical_key_matches_equivalence(self, db4_k4, rng):
+        reps = db4_k4.reps_by_size[3]
+        word = int(reps[rng.randrange(len(reps))])
+        for member in equivalence.equivalence_class(word, 4):
+            assert db4_k4.canonical_key(member) == word
+
+    def test_lookup_with_keys(self, db4_k4):
+        word = int(db4_k4.reps_by_size[3][1])
+        members = sorted(equivalence.equivalence_class(word, 4))
+        keys, sizes = db4_k4.lookup_with_keys(
+            np.array(members, dtype=np.uint64)
+        )
+        assert set(keys.tolist()) == {word}
+        assert set(sizes.tolist()) == {3}
+
 
 class TestPersistence:
     def test_save_load_roundtrip(self, db4_k4, tmp_path):
@@ -68,6 +108,62 @@ class TestPersistence:
         db4_k4.save(path)
         assert path.exists()
 
+    def test_load_not_an_archive(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(DatabaseError, match="garbage.npz"):
+            OptimalDatabase.load(path)
+
+    def test_load_truncated_zip(self, db4_k4, tmp_path):
+        """A file cut off mid-archive (still starting with the zip magic)
+        raises DatabaseError, not a raw zipfile.BadZipFile."""
+        path = tmp_path / "cut.npz"
+        db4_k4.save(path)
+        path.write_bytes(path.read_bytes()[:200])
+        with pytest.raises(DatabaseError, match="cut.npz"):
+            OptimalDatabase.load(path)
+
+    def test_load_missing_meta(self, tmp_path):
+        path = tmp_path / "no_meta.npz"
+        np.savez(path, reps_0=np.array([0], dtype=np.uint64))
+        with pytest.raises(DatabaseError, match="missing 'meta'"):
+            OptimalDatabase.load(path)
+
+    def test_load_malformed_meta(self, tmp_path):
+        path = tmp_path / "bad_meta.npz"
+        np.savez(path, meta=np.array([4], dtype=np.int64))
+        with pytest.raises(DatabaseError, match="meta"):
+            OptimalDatabase.load(path)
+
+    def test_load_invalid_meta_values(self, tmp_path):
+        path = tmp_path / "bad_values.npz"
+        np.savez(path, meta=np.array([9, -1], dtype=np.int64))
+        with pytest.raises(DatabaseError, match="invalid meta"):
+            OptimalDatabase.load(path)
+
+    def test_load_truncated_reps(self, db4_k4, tmp_path):
+        """A save missing one reps_{size} array names the gap and the path."""
+        path = tmp_path / "truncated.npz"
+        arrays = {
+            f"reps_{size}": reps
+            for size, reps in enumerate(db4_k4.reps_by_size)
+            if size != 2
+        }
+        arrays["meta"] = np.array([4, 4], dtype=np.int64)
+        np.savez(path, **arrays)
+        with pytest.raises(DatabaseError) as excinfo:
+            OptimalDatabase.load(path)
+        assert "reps_2" in str(excinfo.value)
+        assert "truncated.npz" in str(excinfo.value)
+
+    def test_from_reps_empty_rejected(self):
+        with pytest.raises(DatabaseError, match="empty"):
+            OptimalDatabase.from_reps(4, 0, [])
+        with pytest.raises(DatabaseError, match="empty"):
+            OptimalDatabase.from_reps(
+                4, 1, [np.array([], dtype=np.uint64)] * 2
+            )
+
 
 class TestPeeling:
     def test_peel_last_gate_reduces_size(self, db4_k4, rng):
@@ -86,3 +182,25 @@ class TestPeeling:
         word = get_benchmark("hwb4").permutation().word
         with pytest.raises(DatabaseError):
             db4_k4.peel_last_gate(word, 1)
+
+    def test_peel_inconsistent_message_names_word(self, db4_k4):
+        """The inconsistency error identifies the offending word and size."""
+        from repro.benchmarks_data import get_benchmark
+
+        word = get_benchmark("hwb4").permutation().word
+        with pytest.raises(DatabaseError, match="inconsistent") as excinfo:
+            db4_k4.peel_last_gate(word, 1)
+        assert f"{word:#x}" in str(excinfo.value)
+
+    def test_peel_wrong_claimed_size_raises(self, db4_k4):
+        """Claiming size s for a word whose true size is not s cannot find
+        a peel that lands on size s - 1 ... unless a neighbor happens to
+        have that size; use size 1 against identity (size 0) which would
+        need a size-0 neighbor == identity itself."""
+        from repro.core import packed
+
+        identity = packed.identity(4)
+        # identity has size 0; peeling at claimed size 0 loops zero times in
+        # callers, but a direct call with size=-1 finds nothing of size -2.
+        with pytest.raises(DatabaseError):
+            db4_k4.peel_last_gate(identity, -1)
