@@ -1,0 +1,174 @@
+"""Configuration for the checkers: rule scopes, exemptions, knobs.
+
+Every rule family has a *scope* -- path fragments a file must match for
+the rule to run -- and some have exemption lists (e.g. metrics code is
+allowed to read the wall clock).  The defaults below encode this
+repository's layout; a ``[tool.repro.checks]`` table in ``pyproject.toml``
+can override any field, so the policy lives with the code it governs::
+
+    [tool.repro.checks]
+    determinism-exempt = ["repro/service/metrics.py"]
+    mask64-word-names = ["word", "p", "q", "key"]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+
+def _tuple(*items: str) -> tuple[str, ...]:
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """All knobs, with repo-tuned defaults.
+
+    Scope entries are path fragments compared against the posix form of
+    each checked file; an empty scope means "every file".
+    """
+
+    # --- mask64 ------------------------------------------------------
+    #: Files where packed-word mask discipline is enforced.
+    mask64_scope: tuple[str, ...] = _tuple("repro/core/", "repro/hashing/")
+    #: Parameter/attribute names treated as packed 64-bit words (taint
+    #: sources for the mask64 analysis).
+    mask64_word_names: tuple[str, ...] = _tuple(
+        "word", "words", "p", "q", "key", "keys", "cur", "best", "canon"
+    )
+    #: Names accepted as masking constants in ``value & NAME``.
+    mask64_mask_names: tuple[str, ...] = _tuple(
+        "MASK64", "NIBBLE_MASK", "mask", "MASK"
+    )
+    #: Calls that truncate their argument to 64 bits.
+    mask64_masking_calls: tuple[str, ...] = _tuple("mask64",)
+    #: Function-name suffixes exempt from the rule (numpy uint64 code
+    #: wraps modulo 2**64 in hardware, no explicit mask needed).
+    mask64_exempt_suffixes: tuple[str, ...] = _tuple("_np",)
+
+    # --- lock-discipline ---------------------------------------------
+    #: Files where lock discipline is enforced.
+    lock_scope: tuple[str, ...] = _tuple("repro/service/",)
+    #: Attribute-name fragments recognized as locks/conditions in
+    #: ``with self.<name>:`` blocks.
+    lock_names: tuple[str, ...] = _tuple("lock", "mutex", "cond", "not_empty")
+    #: Method names considered blocking when called while a lock is held.
+    blocking_methods: tuple[str, ...] = _tuple(
+        "recv", "recv_into", "accept", "connect", "sendall",
+        "wait", "join", "sleep", "map", "apply", "apply_async", "select",
+    )
+    #: ``.get``/``.put`` only count as blocking on receivers whose name
+    #: contains one of these fragments (a ``queue``, not a ``dict``).
+    blocking_queue_receivers: tuple[str, ...] = _tuple("queue",)
+    #: Methods exempt from __init__-style construction (never checked).
+    lock_init_methods: tuple[str, ...] = _tuple(
+        "__init__", "__post_init__", "__new__"
+    )
+
+    # --- determinism -------------------------------------------------
+    #: Compute paths that must stay deterministic.
+    determinism_scope: tuple[str, ...] = _tuple(
+        "repro/core/", "repro/hashing/", "repro/synth/", "repro/analysis/",
+        "repro/rng/", "repro/sat/", "repro/stabilizer/", "repro/apps/",
+        "repro/io/", "repro/service/workers.py",
+    )
+    #: Files inside the scope that may read clocks/entropy (metrics and
+    #: other observability code).
+    determinism_exempt: tuple[str, ...] = _tuple(
+        "repro/service/metrics.py",
+    )
+    #: ``time`` functions that are allowed (monotonic timing is fine;
+    #: wall-clock reads are not).
+    allowed_time_functions: tuple[str, ...] = _tuple(
+        "time.monotonic", "time.monotonic_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.process_time", "time.process_time_ns",
+        "time.sleep",
+    )
+
+    # --- api-misuse --------------------------------------------------
+    #: Name fragments marking a value as already canonicalized when it
+    #: is passed to a canonical-table lookup.
+    canonical_arg_names: tuple[str, ...] = _tuple("canon", "key", "rep")
+    #: Callable-name fragments whose results count as canonicalized.
+    canonical_call_names: tuple[str, ...] = _tuple("canonical",)
+    #: Method names that perform raw canonical-table lookups.
+    canonical_lookup_methods: tuple[str, ...] = _tuple(
+        "get", "lookup_batch", "contains_batch", "size_of_canonical"
+    )
+
+    # --- todo-tracking -----------------------------------------------
+    #: Markers that must carry a tracking reference.
+    todo_markers: tuple[str, ...] = _tuple("TODO", "FIXME", "XXX")
+
+    # --- global ------------------------------------------------------
+    #: Per-rule scope overrides: rule id -> path fragments.
+    scopes: dict = field(default_factory=dict)
+    #: Path fragments excluded from every rule.
+    exclude: tuple[str, ...] = _tuple(
+        "/tests/", "/benchmarks/", "/examples/", "/scripts/"
+    )
+
+    def in_scope(self, path: str, scope: tuple[str, ...]) -> bool:
+        """True when ``path`` (posix form) matches ``scope``."""
+        if any(fragment in path for fragment in self.exclude):
+            return False
+        if not scope:
+            return True
+        return any(fragment in path for fragment in scope)
+
+
+#: Mapping from pyproject keys ([tool.repro.checks]) to config fields.
+_PYPROJECT_KEYS = {
+    "mask64-scope": "mask64_scope",
+    "mask64-word-names": "mask64_word_names",
+    "mask64-mask-names": "mask64_mask_names",
+    "mask64-exempt-suffixes": "mask64_exempt_suffixes",
+    "lock-scope": "lock_scope",
+    "lock-names": "lock_names",
+    "blocking-methods": "blocking_methods",
+    "determinism-scope": "determinism_scope",
+    "determinism-exempt": "determinism_exempt",
+    "allowed-time-functions": "allowed_time_functions",
+    "canonical-arg-names": "canonical_arg_names",
+    "todo-markers": "todo_markers",
+    "exclude": "exclude",
+}
+
+
+def load_config(root: "Path | str | None" = None) -> CheckConfig:
+    """Build a config, merging ``[tool.repro.checks]`` from pyproject.toml.
+
+    ``root`` is the directory searched for pyproject.toml (defaults to
+    the current directory); a missing file or section yields defaults.
+    """
+    config = CheckConfig()
+    base = Path(root) if root is not None else Path.cwd()
+    pyproject = base / "pyproject.toml"
+    if not pyproject.is_file():
+        return config
+    if sys.version_info < (3, 11):  # pragma: no cover - py3.10 fallback
+        return config
+    import tomllib
+
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):  # pragma: no cover
+        return config
+    section = data.get("tool", {}).get("repro", {}).get("checks", {})
+    if not isinstance(section, dict):
+        return config
+    updates: dict = {}
+    for key, value in section.items():
+        target = _PYPROJECT_KEYS.get(key)
+        if target is None:
+            continue
+        if isinstance(value, list):
+            updates[target] = tuple(str(v) for v in value)
+    valid = {f.name for f in fields(CheckConfig)}
+    updates = {k: v for k, v in updates.items() if k in valid}
+    return replace(config, **updates) if updates else config
+
+
+__all__ = ["CheckConfig", "load_config"]

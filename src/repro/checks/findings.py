@@ -1,0 +1,64 @@
+"""The :class:`Finding` value type shared by all rules and reporters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code: errors fail the run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule at a source location.
+
+    Attributes:
+        path: Posix-style path of the offending file.
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule_id: Stable identifier used in ``allow[...]`` suppressions.
+        family: Rule family (mask64, lock-discipline, determinism, ...).
+        message: Human-readable description of the violation.
+        severity: ERROR findings fail ``repro check``; WARNINGs do not.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    family: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """The canonical single-line rendering used by the text reporter."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity} [{self.rule_id}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stable key order via the reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "family": self.family,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+__all__ = ["Finding", "Severity"]

@@ -1,0 +1,50 @@
+"""Reporters: render a :class:`~repro.checks.runner.CheckReport`.
+
+Text output is one ``path:line:col: severity [rule-id] message`` line
+per finding plus a summary; JSON output is a stable machine-readable
+document (``version`` field guards consumers against format drift).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.runner import CheckReport
+
+#: Bump when the JSON document shape changes.
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable findings listing with a one-line summary."""
+    lines = [finding.format() for finding in report.findings]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.findings:
+        count = len(report.findings)
+        fnoun = "finding" if count == 1 else "findings"
+        summary = (
+            f"{count} {fnoun} ({len(report.suppressed)} suppressed) "
+            f"in {report.files_checked} {noun}"
+        )
+    else:
+        summary = (
+            f"ok: 0 findings ({len(report.suppressed)} suppressed) "
+            f"in {report.files_checked} {noun}"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable JSON document (sorted, deterministic)."""
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+__all__ = ["JSON_FORMAT_VERSION", "render_json", "render_text"]

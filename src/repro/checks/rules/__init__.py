@@ -1,0 +1,13 @@
+"""Built-in rule modules; importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.checks.rules import (  # noqa: F401  (import = registration)
+    api_misuse,
+    determinism,
+    locks,
+    mask64,
+    todo,
+)
+
+__all__ = ["api_misuse", "determinism", "locks", "mask64", "todo"]

@@ -1,0 +1,187 @@
+"""api-misuse: repo-wide API hygiene rules.
+
+Three rules, all file-agnostic (they run everywhere except the
+configured excludes):
+
+* **bare-except** -- ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; in the daemon it can hide worker crashes as cache
+  misses.  Catch ``Exception`` (or something narrower).
+* **mutable-default** -- a literal ``[]``/``{}``/``set()`` default is
+  shared across calls; gate construction behind ``None``.
+* **unrouted-lookup** -- the optimal-circuit tables are keyed by
+  *canonical representatives* (paper Section 3.2: equivalence under wire
+  relabeling and inversion gives a ~48x reduction).  A lookup whose key
+  was never canonicalized silently misses ~47/48 of equivalent
+  functions.  Calls like ``table.get(word)`` are flagged unless the key
+  argument's name (or the call producing it) marks it as canonical.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.registry import FileContext, Rule, register
+
+#: Receiver-name fragments that mark an object as an optimal-circuit
+#: table (``self.table``, ``db``, ``database``).
+_TABLE_FRAGMENTS = ("table", "db", "database")
+
+
+@register
+class BareExceptRule(Rule):
+    """``except:`` with no exception type."""
+
+    id = "bare-except"
+    family = "api-misuse"
+    description = (
+        "bare `except:` swallows KeyboardInterrupt/SystemExit; catch "
+        "Exception or narrower"
+    )
+    scope_field = None
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare `except:` also catches KeyboardInterrupt and "
+                    "SystemExit; use `except Exception:` or narrower",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable literal used as a parameter default."""
+
+    id = "mutable-default"
+    family = "api-misuse"
+    description = (
+        "mutable default argument ([]/{}/set()) is shared across calls; "
+        "default to None and construct inside the function"
+    )
+    scope_field = None
+
+    _MUTABLE_CTORS = ("list", "dict", "set", "bytearray")
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CTORS
+        )
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        self, default,
+                        f"mutable default argument in {node.name}(): the "
+                        "same object is shared across every call; use None "
+                        "and construct inside the body",
+                    )
+
+
+def _terminal_name(node: ast.expr) -> "str | None":
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class UnroutedLookupRule(Rule):
+    """Canonical-table lookups whose key was never canonicalized."""
+
+    id = "unrouted-lookup"
+    family = "api-misuse"
+    description = (
+        "optimal-table lookup key must go through canonical_representative "
+        "(paper §3.2): raw lookups miss ~47/48 equivalent functions"
+    )
+    scope_field = None
+
+    def _looks_canonical(
+        self, node: ast.expr, ctx: FileContext, canonical_names: set
+    ) -> bool:
+        config = ctx.config
+        name = _terminal_name(node)
+        if name is not None:
+            lowered = name.lower()
+            if any(frag in lowered for frag in config.canonical_arg_names):
+                return True
+            if name in canonical_names:
+                return True
+        if isinstance(node, ast.Call):
+            fn = _terminal_name(node.func)
+            if fn is not None and any(
+                frag in fn.lower() for frag in config.canonical_call_names
+            ):
+                return True
+        if isinstance(node, ast.Subscript):
+            return self._looks_canonical(node.value, ctx, canonical_names)
+        return False
+
+    def _canonical_assigned_names(self, ctx: FileContext) -> set:
+        """Names assigned (anywhere in the file) from canonical* calls."""
+        names: set = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            fn = _terminal_name(value.func)
+            if fn is None or not any(
+                frag in fn.lower()
+                for frag in ctx.config.canonical_call_names
+            ):
+                continue
+            for target in node.targets:
+                targets = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+        return names
+
+    def check(self, ctx: FileContext):
+        canonical_names = self._canonical_assigned_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ctx.config.canonical_lookup_methods:
+                continue
+            receiver = _terminal_name(node.func.value)
+            if receiver is None:
+                continue
+            lowered = receiver.lower()
+            if not any(frag in lowered for frag in _TABLE_FRAGMENTS):
+                continue
+            if not node.args:
+                continue
+            key_arg = node.args[0]
+            if self._looks_canonical(key_arg, ctx, canonical_names):
+                continue
+            yield ctx.finding(
+                self, node,
+                f"{receiver}.{node.func.attr}(...) key is not visibly "
+                "canonicalized; route it through canonical_representative "
+                "first, or suppress with the reason the table is complete",
+            )
+
+
+__all__ = ["BareExceptRule", "MutableDefaultRule", "UnroutedLookupRule"]

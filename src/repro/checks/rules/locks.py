@@ -1,0 +1,214 @@
+"""lock-discipline: guarded-state and blocking-call hygiene.
+
+The service daemon (PR 1) shares state between connection threads, the
+dispatcher, and shutdown paths, guarded by ``threading.Lock`` /
+``Condition`` objects.  Two classes of mistake are caught statically:
+
+* **mixed-lock-mutation** -- an instance attribute assigned both inside
+  a ``with self._lock:`` block and outside one (in non-``__init__``
+  methods) is a data race waiting to happen: either every mutation must
+  take the lock or none needs to.
+* **blocking-call-under-lock** -- calling something that can block for
+  an unbounded time (``socket.recv``, ``Event.wait``, ``pool.map``,
+  ``queue.get`` without a condition, ``join``, ``sleep``...) while a
+  lock is held starves every other thread contending for it.  Waiting on
+  the *held* condition itself (``self._cond.wait()`` inside ``with
+  self._cond:``) is the one sanctioned pattern -- conditions release the
+  lock while waiting.
+
+Lock objects are recognized by attribute name (configurable fragments:
+``lock``, ``mutex``, ``cond``, ``not_empty``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.registry import FileContext, Rule, register
+
+
+def _expr_text(node: ast.expr) -> "str | None":
+    """Dotted text of a Name/Attribute chain (``self._lock``), else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _expr_text(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _is_lock_expr(node: ast.expr, lock_names: tuple[str, ...]) -> bool:
+    """True when a ``with`` context expression looks like a lock."""
+    text = _expr_text(node)
+    if text is None:
+        return False
+    terminal = text.rsplit(".", 1)[-1].lower()
+    return any(fragment in terminal for fragment in lock_names)
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Walk one method, tracking the stack of held locks."""
+
+    def __init__(self, rule: "Rule", ctx: FileContext, is_init: bool):
+        self.rule = rule
+        self.ctx = ctx
+        self.config = ctx.config
+        self.is_init = is_init
+        self.lock_stack: list[str] = []
+        #: attr name -> list of (locked?, node) mutation sites.
+        self.mutations: dict[str, list] = {}
+        self.blocking: list = []
+
+    # -- lock tracking -------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        lock_texts = [
+            _expr_text(item.context_expr)
+            for item in node.items
+            if _is_lock_expr(item.context_expr, self.config.lock_names)
+        ]
+        self.lock_stack.extend(t for t in lock_texts if t)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in lock_texts:
+            if self.lock_stack:
+                self.lock_stack.pop()
+
+    # -- attribute mutations -------------------------------------------
+    def _record_target(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.mutations.setdefault(target.attr, []).append(
+                (bool(self.lock_stack), target)
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_target(node.target)
+        self.generic_visit(node)
+
+    # -- blocking calls ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.lock_stack and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            receiver = _expr_text(node.func.value)
+            if self._is_blocking(method, receiver):
+                # Waiting on the lock object we hold is the condition-
+                # variable pattern: wait() releases the lock.
+                if not (receiver is not None and receiver in self.lock_stack):
+                    self.blocking.append((node, method, receiver))
+        self.generic_visit(node)
+
+    def _is_blocking(self, method: str, receiver: "str | None") -> bool:
+        if method in self.config.blocking_methods:
+            return True
+        if method in ("get", "put"):
+            if receiver is None:
+                return False
+            terminal = receiver.rsplit(".", 1)[-1].lower()
+            return any(
+                fragment in terminal
+                for fragment in self.config.blocking_queue_receivers
+            )
+        return False
+
+    # Do not descend into nested defs: they execute later, under
+    # whatever locks *their* callers hold.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+@register
+class MixedLockMutationRule(Rule):
+    """Attributes mutated both under a lock and without it."""
+
+    id = "mixed-lock-mutation"
+    family = "lock-discipline"
+    description = (
+        "instance attribute mutated both inside and outside "
+        "`with self._lock` blocks (racy: pick one discipline)"
+    )
+    scope_field = "lock_scope"
+
+    def check(self, ctx: FileContext):
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            # attr -> {"locked": [nodes], "unlocked": [nodes]}
+            sites: dict[str, dict[str, list]] = {}
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in ctx.config.lock_init_methods:
+                    continue
+                scan = _MethodScan(self, ctx, is_init=False)
+                for stmt in item.body:
+                    scan.visit(stmt)
+                for attr, entries in scan.mutations.items():
+                    bucket = sites.setdefault(
+                        attr, {"locked": [], "unlocked": []}
+                    )
+                    for locked, node in entries:
+                        bucket["locked" if locked else "unlocked"].append(node)
+            for attr in sorted(sites):
+                bucket = sites[attr]
+                if bucket["locked"] and bucket["unlocked"]:
+                    for node in bucket["unlocked"]:
+                        yield ctx.finding(
+                            self, node,
+                            f"self.{attr} is assigned under a lock elsewhere "
+                            f"in {cls.name} but mutated here without one; "
+                            "take the lock or document the happens-before",
+                        )
+
+
+@register
+class BlockingCallUnderLockRule(Rule):
+    """Unbounded blocking calls made while a lock is held."""
+
+    id = "blocking-call-under-lock"
+    family = "lock-discipline"
+    description = (
+        "blocking call (recv/wait/join/get/map/sleep/...) while holding a "
+        "lock starves other threads; release the lock first or use the "
+        "held condition's own wait()"
+    )
+    scope_field = "lock_scope"
+
+    def check(self, ctx: FileContext):
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scan = _MethodScan(self, ctx, is_init=False)
+            for stmt in func.body:
+                scan.visit(stmt)
+            for node, method, receiver in scan.blocking:
+                what = f"{receiver}.{method}" if receiver else method
+                yield ctx.finding(
+                    self, node,
+                    f"{what}() may block while a lock is held; move it "
+                    "outside the `with` block or wait on the held "
+                    "condition instead",
+                )
+
+
+__all__ = ["BlockingCallUnderLockRule", "MixedLockMutationRule"]

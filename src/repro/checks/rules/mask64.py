@@ -1,0 +1,297 @@
+"""mask64: 64-bit mask discipline on packed-word arithmetic.
+
+The paper's Section 3.3 routines (``composition``, ``inverse``,
+``conjugate01``) and Table 2's ``hash64shift`` are written against C's
+``unsigned long long``: every intermediate silently wraps modulo 2**64.
+Python integers do not wrap, so any ``<<``, ``+``, ``*`` or ``~`` whose
+result is not explicitly truncated can grow past 64 bits and corrupt a
+packed permutation (or, for ``~``, go negative) without raising.
+
+This rule runs a small intraprocedural taint analysis:
+
+* taint sources are parameters (and ``self.<attr>`` reads) whose names
+  are configured packed-word names (``word``, ``p``, ``q``, ``key``, ...);
+* taint propagates through arithmetic and assignments;
+* ``value & <mask constant>`` and ``mask64(value)`` clear taint -- and
+  also absolve any growth operators *inside* the masked expression,
+  because the mask truncates whatever they produced;
+* an unmasked ``<<``/``+``/``*``/``**``/``~`` on a tainted operand is
+  reported.
+
+Functions whose names end in a configured suffix (default ``_np``) are
+exempt: numpy ``uint64`` arithmetic wraps in hardware exactly like C.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.registry import FileContext, Rule, register
+
+#: Operators whose result can exceed 64 bits on unbounded ints.
+_GROWTH_BINOPS = (ast.LShift, ast.Add, ast.Mult, ast.Pow)
+
+_OP_NAMES = {
+    ast.LShift: "<<",
+    ast.Add: "+",
+    ast.Mult: "*",
+    ast.Pow: "**",
+}
+
+
+def _is_mask_operand(node: ast.expr, mask_names: tuple[str, ...]) -> bool:
+    """True when ``node`` is a constant (or named mask) that truncates."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return 0 <= node.value < (1 << 64)
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    return any(
+        name == mask or name.endswith("_" + mask.lower()) or name == mask.lower()
+        for mask in mask_names
+    ) or "mask" in name.lower()
+
+
+class _TaintEval:
+    """Bottom-up expression evaluation: (is_tainted, pending findings)."""
+
+    def __init__(self, rule: "Mask64Rule", ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.config = ctx.config
+        self.tainted: set[str] = set()
+        self.findings: list = []
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, node: "ast.expr | None") -> tuple[bool, list]:
+        """Return (tainted, pending) for an expression subtree.
+
+        ``pending`` findings are violations that a *enclosing* mask can
+        still absolve; once evaluation reaches statement level they are
+        final.
+        """
+        if node is None:
+            return False, []
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted, []
+        if isinstance(node, ast.Attribute):
+            tainted = node.attr in self.config.mask64_word_names
+            _, pending = self.eval(node.value)
+            return tainted, pending
+        if isinstance(node, ast.Constant):
+            return False, []
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            tainted, pending = self.eval(node.operand)
+            if isinstance(node.op, ast.Invert) and tainted:
+                pending = pending + [self.ctx.finding(
+                    self.rule, node,
+                    "unmasked ~ on a packed-word value: Python ~ yields a "
+                    "negative int, not a 64-bit complement; wrap in mask64() "
+                    "or add & MASK64",
+                )]
+            return tainted, pending
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            t_body, p_body = self.eval(node.body)
+            t_else, p_else = self.eval(node.orelse)
+            _, p_test = self.eval(node.test)
+            return t_body or t_else, p_body + p_else + p_test
+        if isinstance(node, ast.Compare):
+            pending = self.eval(node.left)[1]
+            for comparator in node.comparators:
+                pending += self.eval(comparator)[1]
+            return False, pending
+        if isinstance(node, ast.BoolOp):
+            tainted = False
+            pending: list = []
+            for value in node.values:
+                t, p = self.eval(value)
+                tainted = tainted or t
+                pending += p
+            return tainted, pending
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            pending = []
+            for elt in node.elts:
+                pending += self.eval(elt)[1]
+            return False, pending
+        if isinstance(node, ast.Subscript):
+            _, p_value = self.eval(node.value)
+            _, p_slice = self.eval(node.slice)
+            return False, p_value + p_slice
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        # Comprehensions, lambdas, f-strings, ...: walk children for
+        # nested dangerous ops but treat the result as clean.
+        pending = []
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                pending += self.eval(child)[1]
+        return False, pending
+
+    def _eval_binop(self, node: ast.BinOp) -> tuple[bool, list]:
+        left_t, left_p = self.eval(node.left)
+        right_t, right_p = self.eval(node.right)
+        pending = left_p + right_p
+        tainted = left_t or right_t
+        if isinstance(node.op, ast.BitAnd):
+            # value & MASK truncates: the result is clean and any growth
+            # inside the masked expression is absolved.
+            if _is_mask_operand(node.right, self.config.mask64_mask_names) or \
+                    _is_mask_operand(node.left, self.config.mask64_mask_names):
+                return False, []
+            # ANDing with an unknown value cannot *grow* the word, but
+            # the result is still word-derived.
+            return tainted, pending
+        if isinstance(node.op, _GROWTH_BINOPS) and tainted:
+            op = _OP_NAMES[type(node.op)]
+            pending = pending + [self.ctx.finding(
+                self.rule, node,
+                f"unmasked {op} on a packed-word value can exceed 64 bits; "
+                "route the result through mask64() or & MASK64",
+            )]
+        if isinstance(node.op, (ast.RShift, ast.FloorDiv, ast.Mod)):
+            return tainted, pending
+        return tainted, pending
+
+    def _eval_call(self, node: ast.Call) -> tuple[bool, list]:
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+        pending: list = []
+        for arg in node.args:
+            pending += self.eval(arg)[1]
+        for kw in node.keywords:
+            pending += self.eval(kw.value)[1]
+        if func_name in self.config.mask64_masking_calls:
+            # mask64(...) truncates: absolve everything inside.
+            return False, []
+        return False, pending
+
+    # -- statement walking ---------------------------------------------
+    def run_function(self, func: ast.FunctionDef) -> list:
+        """Two-pass flow-insensitive analysis of one function body."""
+        args = func.args
+        params = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        self.tainted = {
+            a.arg for a in params
+            if a.arg in self.config.mask64_word_names
+        }
+        # Pass 1: propagate taint through assignments (loop-carried
+        # values settle); findings are discarded.
+        self._walk(func.body, collect=False)
+        # Pass 2: collect findings against the settled taint set.
+        self.findings = []
+        self._walk(func.body, collect=True)
+        return self.findings
+
+    def _walk(self, body: list, collect: bool) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, collect)
+
+    def _emit(self, pending: list, collect: bool) -> None:
+        if collect:
+            self.findings.extend(pending)
+
+    def _walk_stmt(self, stmt: ast.stmt, collect: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            tainted, pending = self.eval(stmt.value)
+            self._emit(pending, collect)
+            for target in stmt.targets:
+                self._assign_target(target, tainted)
+        elif isinstance(stmt, ast.AnnAssign):
+            tainted, pending = self.eval(stmt.value)
+            self._emit(pending, collect)
+            self._assign_target(stmt.target, tainted)
+        elif isinstance(stmt, ast.AugAssign):
+            target_t = (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id in self.tainted
+            )
+            value_t, pending = self.eval(stmt.value)
+            self._emit(pending, collect)
+            if (target_t or value_t) and isinstance(stmt.op, _GROWTH_BINOPS):
+                if collect:
+                    op = _OP_NAMES[type(stmt.op)]
+                    self.findings.append(self.ctx.finding(
+                        self.rule, stmt,
+                        f"unmasked {op}= on a packed-word value can exceed "
+                        "64 bits; mask the result with & MASK64",
+                    ))
+            if isinstance(stmt.op, ast.BitAnd) and _is_mask_operand(
+                stmt.value, self.config.mask64_mask_names
+            ):
+                self._assign_target(stmt.target, False)
+            elif isinstance(stmt.target, ast.Name) and value_t:
+                self.tainted.add(stmt.target.id)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            _, pending = self.eval(stmt.value)
+            self._emit(pending, collect)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            _, pending = self.eval(stmt.test)
+            self._emit(pending, collect)
+            self._walk(stmt.body, collect)
+            self._walk(stmt.orelse, collect)
+        elif isinstance(stmt, ast.For):
+            _, pending = self.eval(stmt.iter)
+            self._emit(pending, collect)
+            self._walk(stmt.body, collect)
+            self._walk(stmt.orelse, collect)
+        elif isinstance(stmt, (ast.With, ast.Try)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._walk_stmt(child, collect)
+                elif isinstance(child, ast.withitem):
+                    _, pending = self.eval(child.context_expr)
+                    self._emit(pending, collect)
+                elif isinstance(child, ast.ExceptHandler):
+                    self._walk(child.body, collect)
+        # Nested function/class defs are analyzed separately by the rule.
+
+    def _assign_target(self, target: ast.expr, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, tainted)
+
+
+@register
+class Mask64Rule(Rule):
+    """Unmasked growth arithmetic on packed 64-bit words."""
+
+    id = "unmasked-op"
+    family = "mask64"
+    description = (
+        "arithmetic on packed 64-bit words must flow through mask64/& MASK64 "
+        "(paper §3.3 semantics assume C uint64 wraparound)"
+    )
+    scope_field = "mask64_scope"
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if any(
+                node.name.endswith(suffix)
+                for suffix in ctx.config.mask64_exempt_suffixes
+            ):
+                continue
+            evaluator = _TaintEval(self, ctx)
+            yield from evaluator.run_function(node)
+
+
+__all__ = ["Mask64Rule"]

@@ -1,0 +1,47 @@
+"""todo-tracking: work markers must carry a tracking reference.
+
+An anonymous ``# TODO: later`` comment rots; one that names an owner or
+issue (``# TODO(roadmap-bfs22): ...``) can be swept mechanically.  This
+rule requires every configured marker (``TODO``/``FIXME``/``XXX``) in a
+comment to be immediately followed by a parenthesized reference.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.checks.registry import FileContext, Rule, register
+
+
+@register
+class TodoTrackingRule(Rule):
+    """Untracked TODO/FIXME/XXX comments."""
+
+    id = "untracked-todo"
+    family = "todo-tracking"
+    description = (
+        "TODO/FIXME/XXX comments must carry a parenthesized tracking "
+        "reference, e.g. TODO(roadmap-depth): ..."
+    )
+    scope_field = None
+
+    def check(self, ctx: FileContext):
+        markers = ctx.config.todo_markers
+        if not markers:
+            return
+        pattern = re.compile(
+            r"\b(?P<marker>" + "|".join(re.escape(m) for m in markers) + r")\b"
+            r"(?P<ref>\([^)]+\))?"
+        )
+        for line, col, text in ctx.comments:
+            for match in pattern.finditer(text):
+                if match.group("ref") is None:
+                    yield ctx.finding(
+                        self, (line, col + match.start()),
+                        f"untracked {match.group('marker')} comment; add a "
+                        f"reference: {match.group('marker')}(<owner-or-"
+                        "issue>): ...",
+                    )
+
+
+__all__ = ["TodoTrackingRule"]

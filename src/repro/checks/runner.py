@@ -1,0 +1,152 @@
+"""Check runner: file discovery, rule dispatch, suppression filtering.
+
+Two entry points:
+
+* :func:`check_paths` -- run rules over files/directories, as the
+  ``repro check`` CLI does;
+* :func:`check_source` -- run rules over an in-memory source string
+  (used by the self-tests; ``path`` still matters because rule scopes
+  match on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checks.config import CheckConfig, load_config
+from repro.checks.findings import Finding, Severity
+from repro.checks.registry import FileContext, Rule, select_rules
+from repro.checks.suppressions import (
+    apply_suppressions,
+    extract_comments,
+    parse_suppressions,
+)
+
+import ast
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of one check run."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    suppressed: "list[Finding]" = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "CheckReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+
+
+def iter_python_files(paths: "list[str | Path]") -> "list[Path]":
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: set = set()
+    result: "list[Path]" = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                result.append(candidate)
+    return result
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    config: "CheckConfig | None" = None,
+    select: "tuple[str, ...] | list[str] | None" = None,
+) -> CheckReport:
+    """Run the (selected) rules over one in-memory source string.
+
+    ``path`` participates in scope matching, so tests pass values like
+    ``src/repro/core/example.py`` to trigger scoped rules.
+    """
+    if config is None:
+        config = CheckConfig()
+    rules = select_rules(select)
+    report = CheckReport(files_checked=1)
+    posix = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(Finding(
+            path=posix,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id="parse-error",
+            family="checks",
+            message=f"file does not parse: {exc.msg}",
+            severity=Severity.ERROR,
+        ))
+        return report
+    comments = extract_comments(source)
+    ctx = FileContext(
+        path=posix, source=source, tree=tree, comments=comments, config=config
+    )
+    raw: "list[Finding]" = []
+    for rule in rules:
+        if not rule.applies_to(posix, config):
+            continue
+        raw.extend(rule.check(ctx))
+    suppressions, problems = parse_suppressions(source, comments, posix)
+    kept, suppressed = apply_suppressions(raw, suppressions)
+    report.findings.extend(kept)
+    report.findings.extend(problems)
+    report.suppressed.extend(suppressed)
+    report.sort()
+    return report
+
+
+def check_paths(
+    paths: "list[str | Path]",
+    config: "CheckConfig | None" = None,
+    select: "tuple[str, ...] | list[str] | None" = None,
+    root: "Path | str | None" = None,
+) -> CheckReport:
+    """Run the (selected) rules over files and directory trees.
+
+    ``config`` defaults to :func:`load_config` relative to ``root`` (the
+    current directory when omitted), so a ``[tool.repro.checks]`` table
+    in pyproject.toml is honored automatically.
+    """
+    if config is None:
+        config = load_config(root)
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.findings.append(Finding(
+                path=path.as_posix(), line=1, col=0,
+                rule_id="read-error", family="checks",
+                message=f"cannot read file: {exc}",
+                severity=Severity.ERROR,
+            ))
+            report.files_checked += 1
+            continue
+        report.merge(check_source(
+            source, path=path.as_posix(), config=config, select=select
+        ))
+    report.sort()
+    return report
+
+
+__all__ = ["CheckReport", "check_paths", "check_source", "iter_python_files"]

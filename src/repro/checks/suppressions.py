@@ -1,0 +1,136 @@
+"""Inline suppression comments: ``# repro: allow[rule-id] reason``.
+
+A suppression names one or more rule ids (or families, or ``all``) and
+*must* give a reason -- a reasonless suppression is itself reported as a
+``bad-suppression`` finding, so every silenced diagnostic documents why
+it is safe.  Placement:
+
+* a trailing comment suppresses findings on its own line;
+* a comment alone on a line suppresses findings on the next line.
+
+Multiple ids are comma-separated: ``# repro: allow[mask64,api-misuse] why``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.checks.findings import Finding, Severity
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[A-Za-z0-9_,\-\s]*)\]\s*(?P<reason>.*)"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    #: Line whose findings this suppression covers.
+    target_line: int
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.line != self.target_line:
+            return False
+        return (
+            "all" in self.rule_ids
+            or finding.rule_id in self.rule_ids
+            or finding.family in self.rule_ids
+        )
+
+
+def extract_comments(source: str) -> list[tuple[int, int, str]]:
+    """All comment tokens as ``(line, col, text)``; tolerant of files
+    that fail tokenization midway (returns what was seen)."""
+    comments: list[tuple[int, int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def parse_suppressions(
+    source: str,
+    comments: "list[tuple[int, int, str]] | None" = None,
+    path: str = "<string>",
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse ``allow`` comments; returns ``(suppressions, problems)``.
+
+    ``problems`` holds ``bad-suppression`` findings for comments with an
+    empty id list or a missing reason.
+    """
+    if comments is None:
+        comments = extract_comments(source)
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+    for line, col, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",")
+            if part.strip()
+        )
+        reason = match.group("reason").strip()
+        standalone = (
+            line - 1 < len(lines) and lines[line - 1].lstrip().startswith("#")
+        )
+        target = line + 1 if standalone else line
+        if not ids:
+            problems.append(Finding(
+                path=path, line=line, col=col,
+                rule_id="bad-suppression", family="checks",
+                message="suppression lists no rule ids: use allow[rule-id]",
+                severity=Severity.ERROR,
+            ))
+            continue
+        if not reason:
+            problems.append(Finding(
+                path=path, line=line, col=col,
+                rule_id="bad-suppression", family="checks",
+                message=(
+                    f"suppression allow[{','.join(ids)}] has no reason; "
+                    "every suppression must say why it is safe"
+                ),
+                severity=Severity.ERROR,
+            ))
+            continue
+        suppressions.append(Suppression(
+            line=line, col=col, rule_ids=ids, reason=reason,
+            target_line=target,
+        ))
+    return suppressions, problems
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(kept, suppressed)``."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if any(s.covers(finding) for s in suppressions):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+__all__ = [
+    "Suppression",
+    "apply_suppressions",
+    "extract_comments",
+    "parse_suppressions",
+]

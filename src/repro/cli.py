@@ -9,6 +9,7 @@ Subcommands:
 * ``linear``          -- Table 5: all 4-bit linear reversible functions.
 * ``random N``        -- size distribution of N random permutations.
 * ``benchmarks``      -- synthesize the Table 6 benchmark suite.
+* ``check``           -- run the domain-aware static-analysis rules.
 * ``info``            -- library and database information.
 """
 
@@ -272,7 +273,7 @@ def cmd_libraries(args) -> int:
 
     print("exact optimal-size distributions over the full 3-bit group:")
     print(f"{'library':<7} {'gates':>5} {'L(3)':>5}  distribution")
-    for name, maker in STANDARD_LIBRARIES.items():
+    for maker in STANDARD_LIBRARIES.values():
         library = maker(3)
         dist = full_distribution(library)
         print(
@@ -294,6 +295,28 @@ def cmd_clifford(args) -> int:
     for size in range(len(distribution) - 1, -1, -1):
         print(f"{size:<5d} {distribution[size]}")
     return 0
+
+
+def cmd_check(args) -> int:
+    from repro.checks import all_rules, check_paths, render_json, render_text
+    from repro.checks.registry import select_rules
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<24} [{rule.family}] {rule.description}")
+        return 0
+    select = tuple(args.select) if args.select else None
+    try:
+        select_rules(select)  # validate --select before walking files
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = check_paths(args.paths, select=select)
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered)
+    return 0 if report.ok else 1
 
 
 def cmd_info(args) -> int:
@@ -429,6 +452,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_clifford.add_argument("--qubits", type=int, default=2, choices=(1, 2))
     p_clifford.set_defaults(func=cmd_clifford)
+
+    p_check = sub.add_parser(
+        "check", help="run the domain-aware static-analysis rules"
+    )
+    p_check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    p_check.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only this rule id or family (repeatable)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_info = sub.add_parser("info", help="library and cache information")
     p_info.set_defaults(func=cmd_info)

@@ -9,11 +9,15 @@ and round-tripping through the paper's textual syntax
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core import packed
 from repro.core.gates import Gate
 from repro.errors import InvalidCircuitError
+
+if TYPE_CHECKING:
+    from repro.core.permutation import Permutation
 
 
 @dataclass(frozen=True)
@@ -28,7 +32,7 @@ class Circuit:
     gates: tuple[Gate, ...]
     n_wires: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         gates = tuple(self.gates)
         object.__setattr__(self, "gates", gates)
         if self.n_wires < 1:
@@ -48,7 +52,7 @@ class Circuit:
         return Circuit(gates=(), n_wires=n_wires)
 
     @staticmethod
-    def from_gates(gates, n_wires: int) -> "Circuit":
+    def from_gates(gates: Iterable[Gate], n_wires: int) -> "Circuit":
         """Build a circuit from any iterable of gates."""
         return Circuit(gates=tuple(gates), n_wires=n_wires)
 
@@ -79,10 +83,10 @@ class Circuit:
     def __len__(self) -> int:
         return len(self.gates)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Gate]:
         return iter(self.gates)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: "int | slice") -> "Gate | Circuit":
         if isinstance(index, slice):
             return Circuit(gates=self.gates[index], n_wires=self.n_wires)
         return self.gates[index]
@@ -111,7 +115,9 @@ class Circuit:
             word = packed.compose(word, gate.to_word(self.n_wires), self.n_wires)
         return word
 
-    def implements(self, spec) -> bool:
+    def implements(
+        self, spec: "Permutation | str | int | Iterable[int]"
+    ) -> bool:
         """True iff the circuit realizes ``spec``.
 
         ``spec`` may be a packed word, a value sequence, or a

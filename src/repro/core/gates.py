@@ -50,7 +50,7 @@ class Gate:
     controls: tuple[int, ...]
     target: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         controls = tuple(sorted(self.controls))
         object.__setattr__(self, "controls", controls)
         if len(set(controls)) != len(controls):
@@ -168,7 +168,7 @@ def all_gates(n_wires: int, max_controls: "int | None" = None) -> list[Gate]:
     """
     if max_controls is None:
         max_controls = n_wires - 1
-    gates = []
+    gates: list[Gate] = []
     for n_controls in range(min(max_controls, n_wires - 1) + 1):
         for target in range(n_wires):
             others = [w for w in range(n_wires) if w != target]

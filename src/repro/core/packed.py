@@ -26,6 +26,8 @@ vectorized equivalents used by the heavy searches.
 
 from __future__ import annotations
 
+from typing import Protocol
+
 from repro.errors import InvalidPermutationError
 
 #: Number of bits used to store one function value (fixed by the layout).
@@ -224,7 +226,7 @@ class AdjacentSwapMasks:
     structure of the paper's ``conjugate01``.
     """
 
-    def __init__(self, n_wires: int):
+    def __init__(self, n_wires: int) -> None:
         _check_wires(n_wires)
         self.n_wires = n_wires
         self.index_masks = [
@@ -237,8 +239,10 @@ class AdjacentSwapMasks:
     def conjugate(self, word: int, pair: int) -> int:
         """Conjugate ``word`` by the wire transposition ``(pair, pair+1)``."""
         keep, up, down, shift = self.index_masks[pair]
+        # repro: allow[unmasked-op] up/down select nibbles whose shifted image stays inside the 64-bit word by construction
         word = (word & keep) | ((word & up) << shift) | ((word & down) >> shift)
         keep, bit_lo, bit_hi = self.value_masks[pair]
+        # repro: allow[unmasked-op] bit_lo/bit_hi select value bits whose 1-bit shift stays inside each nibble by construction
         return (word & keep) | ((word & bit_lo) << 1) | ((word & bit_hi) >> 1)
 
 
@@ -290,7 +294,13 @@ def conjugate_by_wire_perm(word: int, wire_perm: tuple[int, ...], n_wires: int) 
     return pack(values)
 
 
-def random_word(n_wires: int, rng) -> int:
+class Shuffler(Protocol):
+    """Anything exposing in-place ``shuffle`` (random.Random, samplers)."""
+
+    def shuffle(self, values: list[int]) -> None: ...
+
+
+def random_word(n_wires: int, rng: Shuffler) -> int:
     """Uniformly random packed permutation drawn from ``rng``.
 
     ``rng`` must expose ``shuffle(list)`` (e.g. :class:`random.Random` or

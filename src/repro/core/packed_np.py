@@ -12,6 +12,7 @@ scalars may be passed as plain Python ints where noted.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core import packed
 from repro.core.combinatorics import plain_changes
@@ -19,13 +20,16 @@ from repro.core.combinatorics import plain_changes
 _U = np.uint64
 NIBBLE_MASK = _U(0xF)
 
+#: Alias for the array type every routine here consumes and produces.
+U64Array = npt.NDArray[np.uint64]
 
-def as_words(values) -> np.ndarray:
+
+def as_words(values: npt.ArrayLike) -> U64Array:
     """Coerce a sequence of packed words to a ``uint64`` array."""
     return np.asarray(values, dtype=np.uint64)
 
 
-def compose_np(p, q, n_wires: int) -> np.ndarray:
+def compose_np(p: npt.ArrayLike, q: npt.ArrayLike, n_wires: int) -> U64Array:
     """Vectorized composition: result(x) = q(p(x)) (apply p, then q).
 
     ``p`` and ``q`` may each be an array or a scalar word; standard numpy
@@ -41,7 +45,7 @@ def compose_np(p, q, n_wires: int) -> np.ndarray:
     return r
 
 
-def inverse_np(p, n_wires: int) -> np.ndarray:
+def inverse_np(p: npt.ArrayLike, n_wires: int) -> U64Array:
     """Vectorized inverse permutation."""
     size = packed.num_states(n_wires)
     p = np.asarray(p, dtype=np.uint64)
@@ -55,7 +59,7 @@ def inverse_np(p, n_wires: int) -> np.ndarray:
 class _NpSwapMasks:
     """uint64 copies of the adjacent-swap mask sets for one wire count."""
 
-    def __init__(self, n_wires: int):
+    def __init__(self, n_wires: int) -> None:
         masks = packed.adjacent_swap_masks(n_wires)
         self.index_masks = [
             (_U(keep), _U(up), _U(down), _U(shift))
@@ -77,7 +81,7 @@ def _np_masks(n_wires: int) -> _NpSwapMasks:
     return masks
 
 
-def conjugate_adjacent_np(words: np.ndarray, pair: int, n_wires: int) -> np.ndarray:
+def conjugate_adjacent_np(words: U64Array, pair: int, n_wires: int) -> U64Array:
     """Vectorized conjugation by the wire transposition ``(pair, pair+1)``."""
     masks = _np_masks(n_wires)
     keep, up, down, shift = masks.index_masks[pair]
@@ -98,7 +102,7 @@ def _conjugation_schedule(n_wires: int) -> list[int]:
     return sched
 
 
-def _fold_conjugates_min(words: np.ndarray, n_wires: int, best: np.ndarray) -> None:
+def _fold_conjugates_min(words: U64Array, n_wires: int, best: U64Array) -> None:
     """Fold ``min`` over all conjugates of ``words`` into ``best`` in place."""
     np.minimum(best, words, out=best)
     cur = words.copy()
@@ -107,7 +111,7 @@ def _fold_conjugates_min(words: np.ndarray, n_wires: int, best: np.ndarray) -> N
         np.minimum(best, cur, out=best)
 
 
-def canonical_np(words: np.ndarray, n_wires: int) -> np.ndarray:
+def canonical_np(words: npt.ArrayLike, n_wires: int) -> U64Array:
     """Canonical representative of the equivalence class of each word.
 
     The representative is the numerically smallest packed word among the
@@ -121,7 +125,9 @@ def canonical_np(words: np.ndarray, n_wires: int) -> np.ndarray:
     return best
 
 
-def canonical_conjugation_only_np(words: np.ndarray, n_wires: int) -> np.ndarray:
+def canonical_conjugation_only_np(
+    words: npt.ArrayLike, n_wires: int
+) -> U64Array:
     """Canonical representative under wire relabeling only (no inversion).
 
     Used by variants of the search that must distinguish a class from the
@@ -133,7 +139,7 @@ def canonical_conjugation_only_np(words: np.ndarray, n_wires: int) -> np.ndarray
     return best
 
 
-def all_variants_np(words: np.ndarray, n_wires: int) -> np.ndarray:
+def all_variants_np(words: npt.ArrayLike, n_wires: int) -> U64Array:
     """Matrix of all equivalence-class members, shape ``(2 * n!, len(words))``.
 
     Row 0 is ``words`` itself; rows may repeat when the class is smaller
@@ -157,8 +163,8 @@ def all_variants_np(words: np.ndarray, n_wires: int) -> np.ndarray:
 
 
 def class_sizes_np(
-    words: np.ndarray, n_wires: int, chunk: int = 1 << 18
-) -> np.ndarray:
+    words: npt.ArrayLike, n_wires: int, chunk: int = 1 << 18
+) -> npt.NDArray[np.int64]:
     """Number of distinct functions in the equivalence class of each word.
 
     Vectorized: builds the ``(2 * n!, chunk)`` variant matrix and counts
@@ -177,8 +183,8 @@ def class_sizes_np(
 
 
 def expand_classes_np(
-    reps: np.ndarray, n_wires: int, chunk: int = 1 << 18
-) -> np.ndarray:
+    reps: npt.ArrayLike, n_wires: int, chunk: int = 1 << 18
+) -> U64Array:
     """All distinct members of the classes of ``reps``, sorted, deduplicated.
 
     Used to materialize the lists ``A_i`` of *all* functions of a given
@@ -186,7 +192,7 @@ def expand_classes_np(
     sequential access to every function of size ``i``).
     """
     reps = np.asarray(reps, dtype=np.uint64)
-    pieces = []
+    pieces: list[U64Array] = []
     for start in range(0, reps.shape[0], chunk):
         block = reps[start : start + chunk]
         variants = all_variants_np(block, n_wires).reshape(-1)
@@ -196,7 +202,7 @@ def expand_classes_np(
     return np.unique(np.concatenate(pieces))
 
 
-def is_valid_np(words: np.ndarray, n_wires: int) -> np.ndarray:
+def is_valid_np(words: npt.ArrayLike, n_wires: int) -> npt.NDArray[np.bool_]:
     """Boolean mask of words that encode valid permutations."""
     size = packed.num_states(n_wires)
     words = np.asarray(words, dtype=np.uint64)

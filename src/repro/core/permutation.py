@@ -9,6 +9,7 @@ wire relabelings, canonical representatives, and linearity tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core import equivalence, packed, spec as spec_mod
 from repro.errors import InvalidPermutationError
@@ -26,7 +27,7 @@ class Permutation:
     word: int
     n_wires: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not packed.is_valid(self.word, self.n_wires):
             raise InvalidPermutationError(
                 f"word {self.word:#x} is not a valid {self.n_wires}-wire "
@@ -42,7 +43,7 @@ class Permutation:
         return Permutation(packed.identity(n_wires), n_wires)
 
     @staticmethod
-    def from_values(values) -> "Permutation":
+    def from_values(values: Iterable[int]) -> "Permutation":
         """Build from an output sequence, e.g. ``[0, 2, 1, 3]``."""
         word, n_wires = spec_mod.spec_to_word(values)
         return Permutation(word, n_wires)
@@ -58,7 +59,10 @@ class Permutation:
         return Permutation(word, n_wires)
 
     @staticmethod
-    def coerce(value, n_wires: "int | None" = None) -> "Permutation":
+    def coerce(
+        value: "Permutation | str | int | Iterable[int]",
+        n_wires: "int | None" = None,
+    ) -> "Permutation":
         """Accept a Permutation, spec string, value sequence, or packed word."""
         if isinstance(value, Permutation):
             return value
@@ -73,7 +77,7 @@ class Permutation:
         return Permutation.from_values(list(value))
 
     @staticmethod
-    def random(n_wires: int, rng) -> "Permutation":
+    def random(n_wires: int, rng: packed.Shuffler) -> "Permutation":
         """Uniformly random permutation using ``rng.shuffle``."""
         return Permutation(packed.random_word(n_wires, rng), n_wires)
 

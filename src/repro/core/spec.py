@@ -9,6 +9,7 @@ truth tables, cycle notation, and the packed-word representation.
 from __future__ import annotations
 
 import re
+from typing import Iterable
 
 from repro.core import packed
 from repro.errors import InvalidPermutationError
@@ -46,12 +47,12 @@ def validate_spec(values: list[int]) -> int:
     return n_wires
 
 
-def format_spec(values) -> str:
+def format_spec(values: Iterable[int]) -> str:
     """Format a value sequence in the paper's bracketed style."""
     return "[" + ",".join(str(v) for v in values) + "]"
 
 
-def spec_to_word(values) -> tuple[int, int]:
+def spec_to_word(values: Iterable[int]) -> tuple[int, int]:
     """Pack a spec; returns ``(word, n_wires)``."""
     values = list(values)
     n_wires = validate_spec(values)
@@ -63,7 +64,7 @@ def word_to_spec(word: int, n_wires: int) -> list[int]:
     return list(packed.unpack(word, n_wires))
 
 
-def cycles(values) -> list[tuple[int, ...]]:
+def cycles(values: Iterable[int]) -> list[tuple[int, ...]]:
     """Disjoint cycle decomposition (fixed points omitted).
 
     >>> cycles([1, 0, 2, 3])
@@ -88,7 +89,7 @@ def cycles(values) -> list[tuple[int, ...]]:
     return out
 
 
-def parity(values) -> int:
+def parity(values: Iterable[int]) -> int:
     """Permutation parity: 0 for even, 1 for odd.
 
     NOT, CNOT and TOF are even permutations of the 16 basis states while
@@ -98,7 +99,9 @@ def parity(values) -> int:
     return sum(len(c) - 1 for c in cycles(values)) % 2
 
 
-def truth_table_lines(values, n_wires: "int | None" = None) -> list[str]:
+def truth_table_lines(
+    values: Iterable[int], n_wires: "int | None" = None
+) -> list[str]:
     """Human-readable truth table, one ``inputs -> outputs`` row per line.
 
     Bit order within a row is ``a b c d`` (wire 0 first).
@@ -107,7 +110,7 @@ def truth_table_lines(values, n_wires: "int | None" = None) -> list[str]:
     inferred = validate_spec(values)
     if n_wires is None:
         n_wires = inferred
-    lines = []
+    lines: list[str] = []
     for x, y in enumerate(values):
         in_bits = " ".join(str((x >> w) & 1) for w in range(n_wires))
         out_bits = " ".join(str((y >> w) & 1) for w in range(n_wires))

@@ -35,7 +35,7 @@ class SizeLimitExceededError(SynthesisError):
     proven lower bound is available as :attr:`lower_bound`.
     """
 
-    def __init__(self, message: str, lower_bound: int):
+    def __init__(self, message: str, lower_bound: int) -> None:
         super().__init__(message)
         self.lower_bound = lower_bound
 
@@ -55,7 +55,7 @@ class ProtocolError(ServiceError):
     error envelope (see :mod:`repro.service.protocol`).
     """
 
-    def __init__(self, message: str, kind: str = "protocol"):
+    def __init__(self, message: str, kind: str = "protocol") -> None:
         super().__init__(message)
         self.kind = kind
 

@@ -16,11 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import DatabaseError
 from repro.hashing.wang import hash64shift, hash64shift_np
 
 EMPTY = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+U64Array = npt.NDArray[np.uint64]
+U8Array = npt.NDArray[np.uint8]
 
 
 @dataclass(frozen=True)
@@ -62,7 +66,7 @@ class LinearProbingTable:
         capacity_bits: int = 16,
         missing_value: int = 255,
         max_load_factor: float = 0.85,
-    ):
+    ) -> None:
         if not 4 <= capacity_bits <= 34:
             raise DatabaseError(f"capacity_bits out of range: {capacity_bits}")
         self._capacity_bits = capacity_bits
@@ -149,7 +153,7 @@ class LinearProbingTable:
     # ------------------------------------------------------------------
     # Batched operations
     # ------------------------------------------------------------------
-    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> int:
+    def insert_batch(self, keys: npt.ArrayLike, values: npt.ArrayLike) -> int:
         """Insert many entries; returns the number actually added.
 
         Duplicate keys (within the batch or vs. the table) keep their
@@ -208,7 +212,7 @@ class LinearProbingTable:
             pos[pending] = (pos[pending] + np.uint64(1)) & mask
         return int(unique_keys.shape[0])
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, keys: npt.ArrayLike) -> U8Array:
         """Vectorized lookup; absent keys map to ``missing_value``."""
         keys = np.asarray(keys, dtype=np.uint64)
         result = np.full(keys.shape[0], self.missing_value, dtype=np.uint8)
@@ -229,18 +233,18 @@ class LinearProbingTable:
             pos[pending] = (pos[pending] + np.uint64(1)) & mask
         return result
 
-    def contains_batch(self, keys: np.ndarray) -> np.ndarray:
+    def contains_batch(self, keys: npt.ArrayLike) -> npt.NDArray[np.bool_]:
         """Boolean membership mask for many keys at once."""
         return self.lookup_batch(keys) != self.missing_value
 
     # ------------------------------------------------------------------
     # Introspection / persistence
     # ------------------------------------------------------------------
-    def keys(self) -> np.ndarray:
+    def keys(self) -> U64Array:
         """Array of all stored keys (unordered)."""
         return self._keys[self._keys != EMPTY].copy()
 
-    def items(self) -> tuple[np.ndarray, np.ndarray]:
+    def items(self) -> tuple[U64Array, U8Array]:
         """Arrays of stored (keys, values), aligned."""
         occupied = self._keys != EMPTY
         return self._keys[occupied].copy(), self._values[occupied].copy()
@@ -269,24 +273,29 @@ class LinearProbingTable:
             maximal_cluster_length=int(lengths.max()) if lengths.size else 0,
         )
 
-    def save_arrays(self) -> dict[str, np.ndarray]:
+    def save_arrays(self) -> "dict[str, npt.NDArray[np.generic]]":
         """Dense (key, value) arrays for persistence."""
         keys, values = self.items()
-        return {"keys": keys, "values": values}
+        arrays: "dict[str, npt.NDArray[np.generic]]" = {
+            "keys": keys,
+            "values": values,
+        }
+        return arrays
 
     @staticmethod
     def from_arrays(
-        keys: np.ndarray, values: np.ndarray, headroom: float = 1.6
+        keys: npt.ArrayLike, values: npt.ArrayLike, headroom: float = 1.6
     ) -> "LinearProbingTable":
         """Rebuild a table sized for ``len(keys)`` entries."""
-        needed = max(16, int(len(keys) * headroom))
+        keys = np.asarray(keys, dtype=np.uint64)
+        needed = max(16, int(keys.shape[0] * headroom))
         bits = max(4, int(needed - 1).bit_length())
         table = LinearProbingTable(capacity_bits=bits)
         table.insert_batch(keys, values)
         return table
 
 
-def _run_lengths_cyclic(occupied: np.ndarray) -> np.ndarray:
+def _run_lengths_cyclic(occupied: npt.NDArray[np.bool_]) -> npt.NDArray[np.int64]:
     """Lengths of maximal runs of True values in a cyclic boolean array."""
     if occupied.all():
         return np.array([occupied.shape[0]], dtype=np.int64)

@@ -11,6 +11,7 @@ arithmetic modulo 2**64.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 MASK64 = (1 << 64) - 1
 
@@ -28,7 +29,7 @@ def hash64shift(key: int) -> int:
     return key
 
 
-def hash64shift_np(keys: np.ndarray) -> np.ndarray:
+def hash64shift_np(keys: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
     """Vectorized ``hash64shift`` on a ``uint64`` array."""
     u = np.uint64
     keys = keys.astype(np.uint64, copy=True)

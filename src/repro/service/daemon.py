@@ -154,10 +154,13 @@ class SynthesisService:
         dispatcher itself.
         """
         with self._shutdown_lock:
-            if self._shutdown_started:
-                self._stopped.wait()
-                return
+            already_started = self._shutdown_started
             self._shutdown_started = True
+        if already_started:
+            # Wait outside the lock: blocking here while holding it would
+            # deadlock a concurrent first-caller that still needs it.
+            self._stopped.wait()
+            return
         self.queue.close()
         if self._dispatcher is not None:
             self._dispatcher.join()

@@ -99,6 +99,7 @@ def build_depth_database(n_wires: int, max_depth: int) -> DepthDatabase:
             candidates = np.unique(
                 canonical_np(compose_np(sources, lw, n_wires), n_wires)
             )
+            # repro: allow[unrouted-lookup] candidates are canonical_np output (np.unique preserves canonicity), already routed
             fresh = candidates[~table.contains_batch(candidates)]
             if fresh.size:
                 table.insert_batch(fresh, np.uint8(depth))

@@ -54,6 +54,7 @@ class LinearDatabase:
 
     def size_of(self, word: int) -> "int | None":
         """Optimal linear gate count, or None if not a linear function."""
+        # repro: allow[unrouted-lookup] the linear database enumerates the whole affine group raw (no §3.2 reduction), so raw keys are exact
         return self.table.get(word)
 
 
@@ -76,6 +77,7 @@ def build_linear_database(n_wires: int = 4) -> LinearDatabase:
             compose_np(frontier, gate_word, n_wires) for gate_word in gate_words
         ]
         candidates = np.unique(np.concatenate(candidate_blocks))
+        # repro: allow[unrouted-lookup] exhaustive raw BFS over the affine group; the table holds every member, not canonical reps
         fresh = candidates[~table.contains_batch(candidates)]
         if fresh.size == 0:
             break

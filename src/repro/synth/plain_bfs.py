@@ -41,6 +41,7 @@ class PlainBfsResult:
 
     def size_of(self, word: int) -> "int | None":
         """Optimal size of ``word`` when <= k, else None."""
+        # repro: allow[unrouted-lookup] the plain-BFS table deliberately stores every raw function (no §3.2 reduction), so uncanonicalized keys are exact
         return self.table.get(word)
 
     @property
@@ -71,6 +72,7 @@ def plain_bfs(n_wires: int, k: int, chunk: int = 1 << 20) -> PlainBfsResult:
             block = frontier[start : start + chunk]
             for gate_word in gate_words:
                 candidates = np.unique(compose_np(block, gate_word, n_wires))
+                # repro: allow[unrouted-lookup] baseline BFS stores all raw functions; membership is checked on raw words by design
                 fresh = candidates[~table.contains_batch(candidates)]
                 if fresh.size:
                     table.insert_batch(fresh, np.uint8(size))

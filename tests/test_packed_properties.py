@@ -1,0 +1,108 @@
+"""Property tests: every public packed-word op stays inside 64 bits.
+
+The mask64 checker (src/repro/checks/rules/mask64.py) enforces the mask
+discipline statically; these Hypothesis properties enforce the same
+invariant dynamically: no public operation of :mod:`repro.core.packed`
+ever produces a value outside ``[0, 2**64)``, and every result that
+encodes a permutation round-trips through ``pack``/``unpack``.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import packed
+from repro.core.bitops import MASK64
+from repro.hashing.wang import hash64shift
+
+WIRE_RANGE = (2, 3, 4)
+
+
+def perm_words(n_wires):
+    """Strategy: a random packed permutation on ``n_wires`` wires."""
+    size = 1 << n_wires
+    return st.permutations(list(range(size))).map(packed.pack)
+
+
+def wires_and_words(count):
+    """Strategy: ``(n_wires, word_1, ..., word_count)`` tuples."""
+    return st.sampled_from(WIRE_RANGE).flatmap(
+        lambda n: st.tuples(st.just(n), *[perm_words(n)] * count)
+    )
+
+
+def assert_fits_and_roundtrips(word, n_wires):
+    assert 0 <= word <= MASK64, f"{word:#x} exceeds 64 bits"
+    values = packed.unpack(word, n_wires)
+    assert sorted(values) == list(range(1 << n_wires))
+    assert packed.pack(values) == word
+
+
+@given(st.sampled_from(WIRE_RANGE))
+def test_identity_fits(n):
+    assert_fits_and_roundtrips(packed.identity(n), n)
+
+
+@given(wires_and_words(2))
+def test_compose_fits(args):
+    n, p, q = args
+    assert_fits_and_roundtrips(packed.compose(p, q, n), n)
+
+
+@given(perm_words(4), perm_words(4))
+def test_compose4_paper_fits(p, q):
+    word = packed.compose4_paper(p, q)
+    assert_fits_and_roundtrips(word, 4)
+    assert word == packed.compose(p, q, 4)
+
+
+@given(wires_and_words(1))
+def test_inverse_fits(args):
+    n, p = args
+    inv = packed.inverse(p, n)
+    assert_fits_and_roundtrips(inv, n)
+    assert packed.compose(p, inv, n) == packed.identity(n)
+
+
+@given(wires_and_words(1), st.data())
+def test_conjugate_adjacent_fits(args, data):
+    n, p = args
+    pair = data.draw(st.integers(min_value=0, max_value=n - 2))
+    word = packed.conjugate_adjacent(p, pair, n)
+    assert_fits_and_roundtrips(word, n)
+    # Conjugation by an involution is an involution.
+    assert packed.conjugate_adjacent(word, pair, n) == p
+
+
+@given(perm_words(4))
+def test_conjugate01_paper_fits(p):
+    assert_fits_and_roundtrips(packed.conjugate01_paper(p), 4)
+
+
+@given(wires_and_words(1), st.data())
+def test_conjugate_by_wire_perm_fits(args, data):
+    n, p = args
+    wire_perm = tuple(data.draw(st.permutations(list(range(n)))))
+    assert_fits_and_roundtrips(
+        packed.conjugate_by_wire_perm(p, wire_perm, n), n
+    )
+
+
+@settings(max_examples=30)
+@given(st.sampled_from(WIRE_RANGE), st.integers(min_value=0, max_value=2**32))
+def test_random_word_fits(n, seed):
+    word = packed.random_word(n, random.Random(seed))
+    assert_fits_and_roundtrips(word, n)
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+def test_hash64shift_fits(key):
+    assert 0 <= hash64shift(key) <= MASK64
+
+
+@given(st.integers())
+def test_hash64shift_fits_any_int(key):
+    # The scalar hash masks its input first, so arbitrary Python ints
+    # (even negative) stay inside 64 bits.
+    assert 0 <= hash64shift(key) <= MASK64
