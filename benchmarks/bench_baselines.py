@@ -15,10 +15,9 @@ import time
 
 import pytest
 
+from repro.engines import SynthesisRequest, create_engine
 from repro.rng.sampling import PermutationSampler
 from repro.synth.bfs import build_database
-from repro.synth.heuristic import mmd_best_of_both
-from repro.synth.plain_bfs import plain_bfs
 
 from conftest import print_header
 
@@ -26,7 +25,7 @@ from conftest import print_header
 def test_reduced_vs_plain_bfs(benchmark):
     print_header("Symmetry reduction vs plain BFS (k = 4)")
     start = time.perf_counter()
-    plain = plain_bfs(4, 4)
+    plain = create_engine("plain-bfs", n_wires=4, k=4).result
     plain_time = time.perf_counter() - start
     start = time.perf_counter()
     reduced = build_database(4, 4)
@@ -47,15 +46,15 @@ def test_reduced_vs_plain_bfs(benchmark):
 def test_sat_vs_lookup(bench_engine, benchmark):
     """The Große et al. cliff: SAT seconds vs lookup microseconds."""
     from repro.benchmarks_data import get_benchmark
-    from repro.sat.synth import sat_synthesize
 
     rd32 = get_benchmark("rd32").permutation()
     print_header("SAT-based exact synthesis vs search-and-lookup (rd32)")
 
+    sat_engine = create_engine("sat", max_gates=4)
     start = time.perf_counter()
-    sat_result = sat_synthesize(rd32, max_gates=4)
+    sat_result = sat_engine.synthesize(SynthesisRequest(spec=rd32))
     sat_time = time.perf_counter() - start
-    assert sat_result.circuit.gate_count == 4
+    assert sat_result.size == 4
 
     start = time.perf_counter()
     for _ in range(20):
@@ -79,6 +78,7 @@ def test_mmd_overhead_vs_optimal(bench_engine, benchmark):
     from repro.errors import SizeLimitExceededError
 
     print_header("MMD heuristic vs optimal on random 4-bit permutations")
+    mmd = create_engine("heuristic")
     sampler = PermutationSampler(4, seed=5489)
     optimal_total = heuristic_total = counted = 0
     while counted < 12:
@@ -87,7 +87,7 @@ def test_mmd_overhead_vs_optimal(bench_engine, benchmark):
             optimal = bench_engine.size_of(perm.word)
         except SizeLimitExceededError:
             continue
-        heuristic = mmd_best_of_both(perm).circuit.gate_count
+        heuristic = mmd.synthesize(SynthesisRequest(spec=perm)).size
         optimal_total += optimal
         heuristic_total += heuristic
         counted += 1
@@ -100,7 +100,7 @@ def test_mmd_overhead_vs_optimal(bench_engine, benchmark):
     benchmark.extra_info["overhead"] = round(overhead, 3)
 
     sample = sampler.sample()
-    benchmark(lambda: mmd_best_of_both(sample).circuit.gate_count)
+    benchmark(lambda: mmd.synthesize(SynthesisRequest(spec=sample)).size)
 
 
 def test_prasad_throughput_claim(benchmark):

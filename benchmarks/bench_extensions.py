@@ -14,8 +14,9 @@ import numpy as np
 import pytest
 
 from repro.core.packed_np import canonical_conjugation_only_np, canonical_np
+from repro.engines import create_engine
 from repro.synth.cost import CostOptimalSynthesizer, build_cost_database
-from repro.synth.depth import DepthOptimalSynthesizer, all_layers, build_depth_database
+from repro.synth.depth import all_layers, build_depth_database
 
 from conftest import print_header
 
@@ -54,8 +55,7 @@ def test_cost_optimal_ablation(bench_engine, benchmark):
 
 def test_depth_optimal_ablation(bench_engine, bench_db, benchmark):
     print_header("Ablation: depth-optimal vs gate-count-optimal")
-    synth = DepthOptimalSynthesizer(4, max_depth=4)
-    synth.database  # build
+    synth = create_engine("depth", n_wires=4, max_depth=4).prepare().impl
 
     layers = all_layers(4)
     print(f"parallel layers on 4 wires: {len(layers)} (32 single-gate)")

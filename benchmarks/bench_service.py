@@ -4,8 +4,8 @@ Drives ``>= 1000`` mixed synthesis queries through one daemon lifetime
 over real TCP connections with concurrent clients, then checks the
 acceptance properties end to end:
 
-* every response is byte-identical to a direct
-  ``OptimalSynthesizer.search`` call on the same engine;
+* every response is byte-identical to a direct search call on the
+  warm handle's engine;
 * batch coalescing is observable in the ``stats`` output
   (mean batch size > 1 under concurrent load);
 * the daemon drains gracefully on shutdown.
@@ -25,8 +25,8 @@ import pytest
 
 from repro.core import equivalence
 from repro.core.permutation import Permutation
+from repro.engines import create_engine
 from repro.service import ServiceClient, ServiceConfig, SynthesisService, TCPDaemon
-from repro.synth.synthesizer import OptimalSynthesizer
 
 from conftest import print_header
 
@@ -48,10 +48,10 @@ HARD_SPECS = [
 def service_handle():
     """A self-contained warm handle (k=4, L=6): builds in under a second
     and still exercises both the peel path and the hard scan path."""
-    synth = OptimalSynthesizer(
-        n_wires=4, k=4, max_list_size=2, cache_dir=False
+    engine = create_engine(
+        "optimal", n_wires=4, k=4, max_list_size=2, cache_dir=False
     )
-    return synth.handle()
+    return engine.handle()
 
 
 def build_workload(handle, rng: random.Random) -> list[str]:

@@ -13,7 +13,8 @@ import time
 
 import pytest
 
-from repro.stabilizer import CliffordSynthesizer, CliffordTableau, clifford_group_size
+from repro.engines import create_engine
+from repro.stabilizer import CliffordTableau, clifford_group_size
 
 from conftest import print_header
 
@@ -21,11 +22,11 @@ from conftest import print_header
 def test_clifford_distributions(benchmark):
     print_header("Optimal Clifford circuits over {H, S, S†, CNOT}")
     start = time.perf_counter()
-    c1 = CliffordSynthesizer(1)
+    c1 = create_engine("clifford", n_qubits=1).impl
     d1 = c1.distribution()
     t1 = time.perf_counter() - start
     start = time.perf_counter()
-    c2 = CliffordSynthesizer(2)
+    c2 = create_engine("clifford", n_qubits=2).impl
     d2 = c2.distribution()
     t2 = time.perf_counter() - start
     print(f"|C1| = {sum(d1):>6,} enumerated in {t1:.2f}s: {d1}")
@@ -48,7 +49,7 @@ def test_clifford_distributions(benchmark):
 
 def test_clifford_hardest_elements(benchmark):
     """Exhibit a maximally hard 2-qubit Clifford (10 gates)."""
-    c2 = CliffordSynthesizer(2)
+    c2 = create_engine("clifford", n_qubits=2).impl
     distribution = c2.distribution()
     hardest_size = len(distribution) - 1
     hardest_keys = [

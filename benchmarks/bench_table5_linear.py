@@ -11,7 +11,8 @@ import pytest
 
 from repro.analysis.estimates import PAPER_TABLE5_LINEAR
 from repro.core.circuit import Circuit
-from repro.synth.linear import LinearSynthesizer, build_linear_database
+from repro.engines import create_engine
+from repro.synth.linear import build_linear_database
 
 from conftest import print_header
 
@@ -46,7 +47,7 @@ def test_table5_paper_example(linear_db, benchmark):
     for x in range(16):
         a, b, c, d = x & 1, (x >> 1) & 1, (x >> 2) & 1, (x >> 3) & 1
         values.append((b ^ 1) | ((a ^ c ^ 1) << 1) | ((d ^ 1) << 2) | (a << 3))
-    synth = LinearSynthesizer(4)
+    synth = create_engine("linear", n_wires=4).impl
     synth._db = linear_db
     synth._library = None
     _ = synth.database  # wires the peeling library

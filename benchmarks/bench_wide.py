@@ -15,7 +15,7 @@ import time
 
 import pytest
 
-from repro.synth.wide import wide_bfs, wide_synthesize
+from repro.engines import SynthesisRequest, create_engine
 
 from conftest import print_header
 
@@ -24,8 +24,11 @@ WIDE_K = int(os.environ.get("REPRO_WIDE_K", "3"))
 
 def test_wide_five_bit_counts(benchmark):
     print_header(f"5-bit optimal function counts (plain BFS, k = {WIDE_K})")
+    engine = create_engine(
+        "wide", n_wires=5, k=WIDE_K, max_frontier=40_000_000
+    )
     start = time.perf_counter()
-    result = wide_bfs(5, WIDE_K, max_frontier=40_000_000)
+    result = engine.result
     elapsed = time.perf_counter() - start
     print(f"{'Size':>4}  {'Functions':>12}")
     for size, count in enumerate(result.counts):
@@ -48,5 +51,7 @@ def test_wide_five_bit_counts(benchmark):
         n_wires=5,
     )
     table = ripple.truth_table()
-    circuit = benchmark(wide_synthesize, result, table)
-    assert circuit.gate_count <= WIDE_K
+    synthesized = benchmark(
+        lambda: engine.synthesize(SynthesisRequest(spec=table))
+    )
+    assert synthesized.size <= WIDE_K

@@ -20,8 +20,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.engines import create_engine
 from repro.synth.search import MeetInTheMiddleSearch
-from repro.synth.synthesizer import OptimalSynthesizer
 
 BENCH_K = int(os.environ.get("REPRO_BENCH_K", "6"))
 BENCH_MAX_L = int(os.environ.get("REPRO_BENCH_MAX_L", "11"))
@@ -33,15 +33,15 @@ CACHE_DIR = Path(__file__).resolve().parent.parent / ".bench-cache"
 @pytest.fixture(scope="session")
 def bench_synthesizer():
     """The big synthesizer shared by all table benchmarks."""
-    synth = OptimalSynthesizer(
+    engine = create_engine(
+        "optimal",
         n_wires=4,
         k=BENCH_K,
         max_list_size=min(BENCH_MAX_L - BENCH_K, BENCH_K),
         cache_dir=CACHE_DIR,
         verbose=True,
     )
-    synth.prepare()
-    return synth
+    return engine.prepare().impl
 
 
 @pytest.fixture(scope="session")

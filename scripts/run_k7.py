@@ -3,8 +3,8 @@
 
 Expected (paper Table 4): 19,466,575 equivalence classes and
 932,651,938 functions of optimal size exactly 7.  Takes several minutes
-and ~2 GB of RAM on a single core; the result is cached so the bench
-suite can reuse it via REPRO_BENCH_K=7.
+and ~2 GB of RAM on a single core; the result lands in ``.bench-cache``
+so the bench suite can reuse it via REPRO_BENCH_K=7.
 
 Run:  python scripts/run_k7.py
 """
@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
-from repro.synth.bfs import build_database
+from repro.engines import create_engine
 
 EXPECTED_REDUCED = [1, 4, 33, 425, 6538, 101983, 1482686, 19466575]
 EXPECTED_FUNCTIONS = [
@@ -30,16 +30,15 @@ EXPECTED_FUNCTIONS = [
 
 
 def main() -> None:
-    start = time.perf_counter()
-    db = build_database(
-        4,
-        7,
-        progress=lambda level, count: print(
-            f"  size {level}: {count:,} new classes "
-            f"[{time.perf_counter() - start:.0f}s]",
-            flush=True,
-        ),
+    cache = Path(__file__).resolve().parent.parent / ".bench-cache"
+    # max_list_size=0: this run only builds and checks the database;
+    # benchmark sessions materialize their own search lists.
+    engine = create_engine(
+        "optimal", n_wires=4, k=7, max_list_size=0, cache_dir=cache,
+        verbose=True,
     )
+    start = time.perf_counter()
+    db = engine.prepare().impl.database
     build_seconds = time.perf_counter() - start
     print(f"\nbuilt k=7 in {build_seconds:.0f}s")
 
@@ -53,8 +52,6 @@ def main() -> None:
           f"[class-size accounting {time.perf_counter() - start:.0f}s]")
     assert functions == EXPECTED_FUNCTIONS, "MISMATCH vs paper Table 4"
 
-    cache = Path(__file__).resolve().parent.parent / ".bench-cache"
-    db.save(cache / "db-n4-k7.npz")
     print(f"EXACT MATCH with paper Table 4 rows 0..7; saved to {cache}")
 
 

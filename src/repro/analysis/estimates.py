@@ -53,9 +53,10 @@ def exact_distribution_3bit() -> list[int]:
     library on three wires; the list sums to 40,320 and its length - 1 is
     L(3), the 3-bit analogue of the paper's L(4).
     """
-    from repro.synth.plain_bfs import plain_bfs
+    from repro.engines import create_engine
 
-    result = plain_bfs(3, 32)  # depth bound far above L(3); BFS stops early
+    # Depth bound far above L(3); the BFS stops early on its own.
+    result = create_engine("plain-bfs", n_wires=3, k=32).result
     counts = result.counts
     while counts and counts[-1] == 0:
         counts.pop()
@@ -88,11 +89,11 @@ def validate_estimator_on_3bit(
     Samples random 3-bit permutations, sizes them against the exhaustive
     table, scales frequencies by 8!, and compares with the exact counts.
     """
+    from repro.engines import create_engine
     from repro.rng.sampling import PermutationSampler
-    from repro.synth.plain_bfs import plain_bfs
 
     exact = exact_distribution_3bit()
-    table = plain_bfs(3, 32)
+    table = create_engine("plain-bfs", n_wires=3, k=32).result
 
     sampler = PermutationSampler(3, seed=seed)
     dist = SizeDistribution(bound=None)

@@ -119,9 +119,9 @@ def full_enumeration(n_wires: int = 3) -> FullEnumeration:
     For n = 3 this reproduces the classic full enumeration (the paper's
     reference [15]) in under a second.
     """
-    from repro.synth.plain_bfs import plain_bfs
+    from repro.engines import create_engine
 
-    result = plain_bfs(n_wires, 64)
+    result = create_engine("plain-bfs", n_wires=n_wires, k=64).result
     counts = [c for c in result.counts]
     while counts and counts[-1] == 0:
         counts.pop()

@@ -72,7 +72,7 @@ class CheckConfig:
     determinism_scope: tuple[str, ...] = _tuple(
         "repro/core/", "repro/hashing/", "repro/synth/", "repro/analysis/",
         "repro/rng/", "repro/sat/", "repro/stabilizer/", "repro/apps/",
-        "repro/io/", "repro/service/workers.py",
+        "repro/io/", "repro/engines/", "repro/service/workers.py",
     )
     #: Files inside the scope that may read clocks/entropy (metrics and
     #: other observability code).
@@ -96,6 +96,23 @@ class CheckConfig:
     #: Method names that perform raw canonical-table lookups.
     canonical_lookup_methods: tuple[str, ...] = _tuple(
         "get", "lookup_batch", "contains_batch", "size_of_canonical"
+    )
+
+    # --- engine-layering ---------------------------------------------
+    #: Names whose import marks a direct dependency on a concrete
+    #: synthesis engine (classes and entry-point functions).
+    layering_engine_names: tuple[str, ...] = _tuple(
+        "OptimalSynthesizer", "DepthOptimalSynthesizer",
+        "CostOptimalSynthesizer", "LinearSynthesizer", "CliffordSynthesizer",
+        "mmd_synthesize", "mmd_best_of_both", "sat_synthesize",
+        "sat_synthesize_fixed_size", "plain_bfs", "wide_bfs",
+        "wide_synthesize",
+    )
+    #: Path fragments allowed to import them: the engine adapters, the
+    #: packages that define them, and the top-level public re-export.
+    layering_allowed: tuple[str, ...] = _tuple(
+        "repro/engines/", "repro/synth/", "repro/sat/", "repro/stabilizer/",
+        "repro/__init__.py",
     )
 
     # --- todo-tracking -----------------------------------------------
@@ -132,6 +149,8 @@ _PYPROJECT_KEYS = {
     "determinism-exempt": "determinism_exempt",
     "allowed-time-functions": "allowed_time_functions",
     "canonical-arg-names": "canonical_arg_names",
+    "layering-engine-names": "layering_engine_names",
+    "layering-allowed": "layering_allowed",
     "todo-markers": "todo_markers",
     "exclude": "exclude",
 }

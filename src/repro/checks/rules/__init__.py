@@ -5,9 +5,10 @@ from __future__ import annotations
 from repro.checks.rules import (  # noqa: F401  (import = registration)
     api_misuse,
     determinism,
+    layering,
     locks,
     mask64,
     todo,
 )
 
-__all__ = ["api_misuse", "determinism", "locks", "mask64", "todo"]
+__all__ = ["api_misuse", "determinism", "layering", "locks", "mask64", "todo"]

@@ -1,0 +1,63 @@
+"""engine-layering: concrete synthesizers stay behind repro.engines.
+
+The unified engine layer (:mod:`repro.engines`) is the one sanctioned
+route from "I have a specification" to "here is a circuit".  Code above
+it -- the CLI, the service daemon, analysis, apps -- must go through
+``create_engine``/``Engine.synthesize`` so every caller gets the same
+result contract, the same caching hooks, and the same capability
+metadata.  A direct import of ``OptimalSynthesizer`` or
+``mmd_synthesize`` in the service layer quietly forks the API back into
+seven per-engine dialects.
+
+This rule flags imports of the configured concrete-engine names
+(classes and entry-point functions) anywhere outside the allowed
+fragments: the adapters themselves (``repro/engines/``), the packages
+that define the engines (``repro/synth/``, ``repro/sat/``,
+``repro/stabilizer/``), and the top-level public re-export
+(``repro/__init__.py``).  Tests, benchmarks, and scripts are excluded
+globally, as everywhere else in the checker.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.registry import FileContext, Rule, register
+
+
+@register
+class EngineLayeringRule(Rule):
+    """Direct imports of concrete engine classes above the engine layer."""
+
+    id = "engine-layering"
+    family = "layering"
+    description = (
+        "concrete synthesis engines (OptimalSynthesizer, mmd_synthesize, "
+        "...) may only be imported inside repro/engines/ and the packages "
+        "defining them; everything above goes through repro.engines"
+    )
+    scope_field = None
+
+    def applies_to(self, path: str, config) -> bool:
+        if any(fragment in path for fragment in config.layering_allowed):
+            return False
+        return super().applies_to(path, config)
+
+    def check(self, ctx: FileContext):
+        flagged = frozenset(ctx.config.layering_engine_names)
+        if not flagged:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            for alias in node.names:
+                if alias.name in flagged:
+                    yield ctx.finding(
+                        self, node,
+                        f"direct import of concrete engine "
+                        f"{alias.name!r}; route through repro.engines "
+                        "(create_engine / Engine.synthesize) instead",
+                    )
+
+
+__all__ = ["EngineLayeringRule"]

@@ -2,7 +2,8 @@
 
 Subcommands:
 
-* ``synth SPEC``      -- synthesize an optimal circuit for a spec string.
+* ``synth SPEC``      -- synthesize a circuit (``--engine`` picks which).
+* ``engines``         -- list the synthesis engines and what they promise.
 * ``build-db``        -- pre-compute and cache the BFS database.
 * ``serve``           -- run the long-lived synthesis daemon (TCP/stdio).
 * ``query``           -- query a running daemon.
@@ -11,6 +12,10 @@ Subcommands:
 * ``benchmarks``      -- synthesize the Table 6 benchmark suite.
 * ``check``           -- run the domain-aware static-analysis rules.
 * ``info``            -- library and database information.
+
+Every synthesis path goes through :mod:`repro.engines`: the CLI names an
+engine, the registry builds the adapter, and the adapter owns the
+concrete synthesizer.
 """
 
 from __future__ import annotations
@@ -20,8 +25,12 @@ import sys
 import time
 
 from repro import __version__
-from repro.core.permutation import Permutation
-from repro.errors import ReproError, SizeLimitExceededError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    SizeLimitExceededError,
+)
 
 
 def _add_synth_options(parser: argparse.ArgumentParser) -> None:
@@ -43,56 +52,107 @@ def _add_synth_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_synthesizer(args):
-    from repro.synth.synthesizer import OptimalSynthesizer
+    """The optimal engine's underlying synthesizer, for subcommands that
+    use its database/search surface directly (build-db, random, ...)."""
+    from repro.engines import create_engine
 
-    return OptimalSynthesizer(
+    return create_engine(
+        "optimal",
+        n_wires=args.wires,
+        k=args.k,
+        max_list_size=args.lists,
+        cache_dir=False if args.no_cache else None,
+        verbose=True,
+    ).impl
+
+
+_GUARANTEE_NOTES = {
+    ("optimal", "gates"): "provably minimal",
+    ("optimal", "depth"): "provably depth-minimal",
+    ("heuristic", "gates"): "heuristic upper bound",
+}
+
+
+def cmd_synth(args) -> int:
+    from repro.engines import SynthesisRequest, create_engine
+
+    engine = create_engine(
+        args.engine,
         n_wires=args.wires,
         k=args.k,
         max_list_size=args.lists,
         cache_dir=False if args.no_cache else None,
         verbose=True,
     )
-
-
-def cmd_synth(args) -> int:
-    synth = _make_synthesizer(args)
-    perm = Permutation.from_spec(args.spec)
-    start = time.perf_counter()
+    request = SynthesisRequest(spec=args.spec, n_wires=args.wires)
     try:
-        outcome = synth.search(perm)
+        result = engine.synthesize(request)
     except SizeLimitExceededError as exc:
         print(
-            f"size > {synth.max_size} (proven lower bound: {exc.lower_bound}); "
-            "raise -k or --lists"
+            f"size out of reach for engine '{args.engine}' "
+            f"(proven lower bound: {exc.lower_bound}); raise -k or --lists"
         )
         return 1
-    elapsed = time.perf_counter() - start
-    print(f"specification : {perm.spec()}")
-    print(f"optimal size  : {outcome.size} gates (provably minimal)")
-    print(f"circuit       : {outcome.circuit}")
-    print(f"depth         : {outcome.circuit.depth()}")
-    print(f"NCV cost      : {outcome.circuit.cost()}")
-    print(f"query time    : {elapsed:.4f}s")
+    note = _GUARANTEE_NOTES.get(
+        (result.guarantee, result.metric), result.guarantee
+    )
+    print(f"specification : {result.spec}")
+    print(f"engine        : {result.engine}")
+    print(f"size          : {result.size} gates ({note})")
+    print(f"circuit       : {result.circuit}")
+    print(f"depth         : {result.depth}")
+    print(f"NCV cost      : {result.cost}")
+    print(f"query time    : {result.seconds:.4f}s")
+    for key, value in sorted(result.extra.items()):
+        print(f"  {key}: {value}")
+    circuit = result.circuit_obj
+    if circuit is None:
+        return 0
     if args.draw:
-        print(outcome.circuit.draw())
+        print(circuit.draw())
     if args.qasm:
         from repro.io.qasm import write_qasm
 
         write_qasm(
-            outcome.circuit,
+            circuit,
             args.qasm,
-            comment=f"optimal ({outcome.size} gates) for {perm.spec()}",
+            comment=f"{result.engine} ({result.size} gates) for {result.spec}",
         )
         print(f"QASM written to {args.qasm}")
     if args.real:
         from repro.io.real_format import write_real
 
         write_real(
-            outcome.circuit,
+            circuit,
             args.real,
-            comment=f"optimal ({outcome.size} gates) for {perm.spec()}",
+            comment=f"{result.engine} ({result.size} gates) for {result.spec}",
         )
         print(f".real written to {args.real}")
+    return 0
+
+
+def cmd_engines(args) -> int:
+    from repro.engines import (
+        engine_capabilities,
+        engine_names,
+        engine_summary,
+        servable_engine_names,
+    )
+
+    print(
+        f"{'name':<10} {'guarantee':<10} {'metric':<7} {'spec':<12} "
+        f"{'served':<7} reach"
+    )
+    for name in engine_names():
+        caps = engine_capabilities(name)
+        print(
+            f"{name:<10} {caps.guarantee:<10} {caps.metric:<7} "
+            f"{caps.spec_kind:<12} {'yes' if caps.servable else 'no':<7} "
+            f"{caps.reach}"
+        )
+        if args.verbose:
+            print(f"{'':<10} {engine_summary(name)}")
+    print(f"daemon-servable: {', '.join(servable_engine_names())}")
     return 0
 
 
@@ -158,12 +218,13 @@ def cmd_query(args) -> int:
             print("error: no specs given (pass specs or --stdin)", file=sys.stderr)
             return 2
         failures = 0
+        transport_failures = 0
         for spec in specs:
             try:
                 if args.size_only:
-                    print(f"{spec} -> {client.size(spec)}")
+                    print(f"{spec} -> {client.size(spec, engine=args.engine)}")
                 else:
-                    result = client.synth(spec)
+                    result = client.synth(spec, engine=args.engine)
                     print(
                         f"{spec} -> {result['size']} gates "
                         f"[{result['source']}]: {result['circuit']}"
@@ -171,14 +232,28 @@ def cmd_query(args) -> int:
             except SizeLimitExceededError as exc:
                 print(f"{spec} -> size > bound (lower bound {exc.lower_bound})")
                 failures += 1
+            except ProtocolError as exc:
+                # The daemon answered, but with an error envelope
+                # (bad spec, unknown engine, ...).
+                print(f"{spec} -> error: {exc}", file=sys.stderr)
+                failures += 1
+            except ServiceError as exc:
+                # Transport broke mid-stream (daemon died, connection
+                # dropped).  Report and keep going: the client reconnects
+                # per request, so later specs may still succeed.
+                print(
+                    f"{spec} -> transport error: {exc}", file=sys.stderr
+                )
+                transport_failures += 1
+        if transport_failures:
+            return 3
         return 1 if failures else 0
 
 
 def cmd_linear(args) -> int:
-    from repro.synth.linear import LinearSynthesizer
+    from repro.engines import create_engine
 
-    synth = LinearSynthesizer(args.wires)
-    db = synth.database
+    db = create_engine("linear", n_wires=args.wires).impl.database
     print("Size  Functions   (Table 5 of the paper)")
     for size in range(db.max_size, -1, -1):
         print(f"{size:<5d} {db.counts[size]}")
@@ -283,9 +358,9 @@ def cmd_libraries(args) -> int:
 
 
 def cmd_clifford(args) -> int:
-    from repro.stabilizer import CliffordSynthesizer
+    from repro.engines import create_engine
 
-    synth = CliffordSynthesizer(args.qubits)
+    synth = create_engine("clifford", n_qubits=args.qubits).impl
     distribution = synth.distribution()
     print(
         f"|C_{args.qubits}| = {sum(distribution):,} Clifford operators "
@@ -344,13 +419,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_synth = sub.add_parser("synth", help="synthesize an optimal circuit")
+    from repro.engines import engine_names
+
+    p_synth = sub.add_parser("synth", help="synthesize a circuit")
     p_synth.add_argument("spec", help='spec string, e.g. "[0,2,1,3,...]"')
+    p_synth.add_argument(
+        "--engine",
+        default="optimal",
+        choices=engine_names(),
+        help="synthesis engine (default: optimal)",
+    )
     p_synth.add_argument("--draw", action="store_true", help="ASCII drawing")
     p_synth.add_argument("--qasm", help="also write OpenQASM 2.0 to this file")
     p_synth.add_argument("--real", help="also write RevLib .real to this file")
     _add_synth_options(p_synth)
     p_synth.set_defaults(func=cmd_synth)
+
+    p_engines = sub.add_parser(
+        "engines", help="list the synthesis engines and their guarantees"
+    )
+    p_engines.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print each engine's summary line",
+    )
+    p_engines.set_defaults(func=cmd_engines)
 
     p_build = sub.add_parser("build-db", help="pre-compute the database")
     p_build.add_argument("--force", action="store_true")
@@ -397,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--host", default="127.0.0.1")
     p_query.add_argument("--port", type=int, default=7878)
     p_query.add_argument("--timeout", type=float, default=60.0)
+    p_query.add_argument(
+        "--engine",
+        default=None,
+        help="daemon-side engine to answer with (default: optimal)",
+    )
     p_query.add_argument(
         "--size-only", action="store_true", help="only report gate counts"
     )

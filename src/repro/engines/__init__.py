@@ -1,0 +1,56 @@
+"""repro.engines -- one synthesis API across every engine in the repo.
+
+The engine layer is the single sanctioned route to a circuit::
+
+    from repro.engines import SynthesisRequest, create_engine
+
+    engine = create_engine("optimal", k=6).prepare()
+    result = engine.synthesize(SynthesisRequest(spec="[1,2,3,...,0]"))
+    print(result.size, result.circuit, result.guarantee)
+
+``create_engine`` resolves names lazily (the SAT solver, stabilizer
+tableaux, and BFS machinery import only when asked for), and every
+engine answers with the same :class:`SynthesisResult` contract, which
+is what lets the CLI (``repro synth --engine``), the service daemon
+(``engine`` field of the JSONL protocol), and the benchmarks treat all
+engines uniformly.  The ``engine-layering`` check enforces the boundary:
+concrete synthesizer classes are imported here and nowhere above.
+"""
+
+from repro.engines.api import (
+    GUARANTEE_HEURISTIC,
+    GUARANTEE_OPTIMAL,
+    METRIC_DEPTH,
+    METRIC_GATES,
+    Engine,
+    EngineCapabilities,
+    SynthesisRequest,
+    SynthesisResult,
+)
+from repro.engines.registry import (
+    EngineSpec,
+    create_engine,
+    engine_capabilities,
+    engine_names,
+    engine_summary,
+    register_engine,
+    servable_engine_names,
+)
+
+__all__ = [
+    "GUARANTEE_HEURISTIC",
+    "GUARANTEE_OPTIMAL",
+    "METRIC_DEPTH",
+    "METRIC_GATES",
+    "Engine",
+    "EngineCapabilities",
+    "EngineSpec",
+    "SynthesisRequest",
+    "SynthesisResult",
+    "create_engine",
+    "engine_capabilities",
+    "engine_names",
+    "engine_summary",
+    "register_engine",
+    "servable_engine_names",
+]

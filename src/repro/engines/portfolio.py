@@ -1,0 +1,211 @@
+"""The portfolio engine: fast upper bound first, proof when affordable.
+
+Strategy (one query):
+
+1. Run the MMD heuristic (milliseconds) for an upper bound ``U`` and a
+   working circuit.
+2. Ask the optimal meet-in-the-middle engine.  Within reach it answers
+   exactly; out of reach it *proves* a lower bound ``LB``.
+3. If ``LB == U`` the heuristic circuit is already provably minimal --
+   the scan's failure is the proof (the paper's Section 4.4 argument).
+4. Otherwise close the gap with SAT at fixed sizes ``LB .. U-1``.  The
+   first satisfiable size is optimal; all-UNSAT proves the heuristic
+   circuit optimal.  With a conflict budget the SAT answers may be
+   inconclusive, in which case the heuristic circuit is returned as-is.
+
+Every result records which tier answered (``extra["tier"]``), so
+callers can see whether they paid for a proof or got a fast bound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.engines.api import (
+    GUARANTEE_HEURISTIC,
+    GUARANTEE_OPTIMAL,
+    Engine,
+    EngineCapabilities,
+    SynthesisRequest,
+    SynthesisResult,
+)
+from repro.engines.baselines import HeuristicEngine
+from repro.engines.optimal import OptimalEngine
+from repro.errors import SizeLimitExceededError, UnsatisfiableError
+from repro.sat.synth import sat_synthesize_fixed_size
+
+
+class PortfolioEngine(Engine):
+    """Heuristic upper bound -> optimal search -> SAT gap closing."""
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        n_wires: int = 4,
+        k: int = 6,
+        max_list_size: "int | None" = None,
+        cache_dir: Any = None,
+        verbose: bool = False,
+        sat_gate_limit: int = 6,
+        conflict_budget: "int | None" = None,
+    ) -> None:
+        self.heuristic = HeuristicEngine()
+        self.optimal = OptimalEngine(
+            n_wires=n_wires,
+            k=k,
+            max_list_size=max_list_size,
+            cache_dir=cache_dir,
+            verbose=verbose,
+        )
+        self.sat_gate_limit = sat_gate_limit
+        self.conflict_budget = conflict_budget
+        self.capabilities = EngineCapabilities(
+            guarantee=GUARANTEE_OPTIMAL,
+            max_wires=4,
+            reach=(
+                "every function; the answer degrades to a heuristic upper "
+                "bound when all proof tiers are out of reach"
+            ),
+        )
+
+    def prepare(self) -> "PortfolioEngine":
+        self.optimal.prepare()
+        return self
+
+    def synthesize(self, request: SynthesisRequest) -> SynthesisResult:
+        perm = request.permutation(self.optimal.impl.n_wires)
+        started = time.perf_counter()
+        upper = self.heuristic.synthesize(
+            SynthesisRequest(spec=perm, n_wires=perm.n_wires)
+        )
+        try:
+            exact = self.optimal.synthesize(
+                SynthesisRequest(spec=perm, n_wires=perm.n_wires)
+            )
+        except SizeLimitExceededError as exc:
+            return self._close_gap(perm, upper, exc.lower_bound, started)
+        return self._finish(
+            exact, started, tier="optimal", upper_bound=upper.size
+        )
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+    def _close_gap(
+        self,
+        perm: Any,
+        upper: SynthesisResult,
+        lower_bound: int,
+        started: float,
+    ) -> SynthesisResult:
+        """The optimal scan proved size >= lower_bound; the heuristic
+        circuit has upper.size gates.  Squeeze or give up gracefully."""
+        if upper.size <= lower_bound:
+            # The bound meets the heuristic circuit: provably minimal.
+            return self._finish(
+                upper,
+                started,
+                tier="heuristic",
+                guarantee=GUARANTEE_OPTIMAL,
+                upper_bound=upper.size,
+                lower_bound=lower_bound,
+            )
+        if upper.size - 1 > self.sat_gate_limit:
+            # SAT at these sizes is hopeless; return the honest bound.
+            return self._finish(
+                upper,
+                started,
+                tier="heuristic",
+                upper_bound=upper.size,
+                lower_bound=lower_bound,
+            )
+        inconclusive = False
+        for n_gates in range(lower_bound, upper.size):
+            try:
+                circuit = sat_synthesize_fixed_size(
+                    perm, n_gates, conflict_budget=self.conflict_budget
+                )
+            except UnsatisfiableError:
+                # Exact UNSAT with no budget; possibly budget exhaustion
+                # otherwise (which weakens the all-UNSAT proof below).
+                inconclusive = inconclusive or self.conflict_budget is not None
+                continue
+            seconds = time.perf_counter() - started
+            result = SynthesisResult.from_circuit(
+                self.name,
+                circuit,
+                upper.spec,
+                guarantee=GUARANTEE_OPTIMAL,
+                seconds=seconds,
+                extra={
+                    "tier": "sat",
+                    "upper_bound": upper.size,
+                    "lower_bound": lower_bound,
+                },
+            )
+            return result
+        # No smaller circuit exists (or the budget ran out trying).
+        return self._finish(
+            upper,
+            started,
+            tier="heuristic",
+            guarantee=(
+                GUARANTEE_HEURISTIC if inconclusive else GUARANTEE_OPTIMAL
+            ),
+            upper_bound=upper.size,
+            lower_bound=lower_bound,
+        )
+
+    def _finish(
+        self,
+        inner: SynthesisResult,
+        started: float,
+        *,
+        tier: str,
+        guarantee: "str | None" = None,
+        **extra: Any,
+    ) -> SynthesisResult:
+        """Re-badge an inner tier's result as the portfolio's answer."""
+        seconds = time.perf_counter() - started
+        merged = dict(inner.extra)
+        merged["tier"] = tier
+        merged.update(extra)
+        return SynthesisResult(
+            engine=self.name,
+            spec=inner.spec,
+            size=inner.size,
+            circuit=inner.circuit,
+            guarantee=guarantee if guarantee is not None else inner.guarantee,
+            metric=inner.metric,
+            depth=inner.depth,
+            cost=inner.cost,
+            seconds=seconds,
+            extra=merged,
+            circuit_obj=inner.circuit_obj,
+        )
+
+
+def make_engine(
+    n_wires: int = 4,
+    k: int = 6,
+    max_list_size: "int | None" = None,
+    cache_dir: Any = None,
+    verbose: bool = False,
+    sat_gate_limit: int = 6,
+    conflict_budget: "int | None" = None,
+) -> PortfolioEngine:
+    """Registry factory for the ``portfolio`` engine."""
+    return PortfolioEngine(
+        n_wires=n_wires,
+        k=k,
+        max_list_size=max_list_size,
+        cache_dir=cache_dir,
+        verbose=verbose,
+        sat_gate_limit=sat_gate_limit,
+        conflict_budget=conflict_budget,
+    )
+
+
+__all__ = ["PortfolioEngine", "make_engine"]

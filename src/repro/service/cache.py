@@ -1,18 +1,27 @@
 """Result cache for the synthesis service, keyed by canonical class.
 
-Every key is ``(n_wires, canonical_word)``, so all (up to 48) members of
-an equivalence class share one entry -- the paper's Section 3.2 symmetry
-applied to serving.  An entry records what is class-invariant (the
-optimal size, or the proven lower bound for out-of-reach classes) plus a
-small map of exact words to their reconstructed circuit strings.  Sizes
-transfer across the whole class for free; circuits are per-word because
-relabeling/inversion changes the gate list, and byte-identical output to
-a direct :meth:`OptimalSynthesizer.search` matters more than the few
-peels saved.
+Every key is ``(engine, n_wires, canonical_word)``.  For the default
+``optimal`` engine all (up to 48) members of an equivalence class share
+one entry -- the paper's Section 3.2 symmetry applied to serving.  An
+entry records what is class-invariant (the optimal size, or the proven
+lower bound for out-of-reach classes) plus a small map of exact words to
+their reconstructed circuit strings.  Sizes transfer across the whole
+class for free; circuits are per-word because relabeling/inversion
+changes the gate list, and byte-identical output to a direct
+:meth:`OptimalSynthesizer.search` matters more than the few peels saved.
 
-The cache is LRU over class entries, thread-safe, and optionally
-persistent: ``save()`` writes a versioned JSON file that ``load()``
-(or the constructor) replays, so a restarted daemon starts warm.
+Other engines get their own keyspace via the ``engine`` keyword: their
+answers are *not* class-invariant (the MMD heuristic's size changes
+under relabeling), so the daemon keys them by exact word (``canon`` =
+the word itself) and stores the serialized wire result as the circuit
+string.  Keyspaces never mix: a heuristic answer can never shadow an
+optimal one.
+
+The cache is LRU over entries (all keyspaces share one LRU ring),
+thread-safe, and optionally persistent: ``save()`` writes a versioned
+JSON file that ``load()`` (or the constructor) replays, so a restarted
+daemon starts warm.  Records without an ``engine`` field belong to
+``optimal``, which keeps files from older daemons loadable.
 """
 
 from __future__ import annotations
@@ -56,8 +65,12 @@ class CacheHit:
     circuit: "str | None"
 
 
+#: Keyspace used when no engine is named (the batched optimal pipeline).
+DEFAULT_ENGINE = "optimal"
+
+
 class ResultCache:
-    """LRU + persistent map: (n_wires, canonical word) -> CacheEntry."""
+    """LRU + persistent map: (engine, n_wires, canonical word) -> CacheEntry."""
 
     def __init__(
         self,
@@ -69,7 +82,9 @@ class ResultCache:
         self.capacity = capacity
         self.path = Path(path) if path else None
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[tuple[int, int], CacheEntry]" = OrderedDict()
+        self._entries: "OrderedDict[tuple[str, int, int], CacheEntry]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
         if self.path and self.path.exists():
@@ -82,13 +97,17 @@ class ResultCache:
     # Lookups / stores
     # ------------------------------------------------------------------
     def lookup(
-        self, n_wires: int, canon: int, word: "int | None" = None
+        self,
+        n_wires: int,
+        canon: int,
+        word: "int | None" = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> "CacheHit | None":
         """Size (and circuit for ``word``, when stored) of a class.
 
         Returns None on a complete miss.  Touches the entry for LRU.
         """
-        key = (n_wires, canon)
+        key = (engine, n_wires, canon)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -103,33 +122,56 @@ class ResultCache:
                 circuit=circuit,
             )
 
-    def store_size(self, n_wires: int, canon: int, size: int) -> None:
+    def store_size(
+        self, n_wires: int, canon: int, size: int, engine: str = DEFAULT_ENGINE
+    ) -> None:
         """Record the optimal size of a class."""
         with self._lock:
-            self._touch(n_wires, canon).size = size
+            self._touch(n_wires, canon, engine).size = size
 
     def store_bound(
-        self, n_wires: int, canon: int, lower_bound: int, max_size: int
+        self,
+        n_wires: int,
+        canon: int,
+        lower_bound: int,
+        max_size: int,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         """Record a proven lower bound for an out-of-reach class."""
         with self._lock:
-            entry = self._touch(n_wires, canon)
+            entry = self._touch(n_wires, canon, engine)
             entry.lower_bound = lower_bound
             entry.max_size = max_size
 
     def store_circuit(
-        self, n_wires: int, canon: int, word: int, size: int, circuit: str
+        self,
+        n_wires: int,
+        canon: int,
+        word: int,
+        size: int,
+        circuit: str,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
-        """Record a reconstructed circuit for one exact word of a class."""
+        """Record a reconstructed circuit for one exact word of a class.
+
+        Non-default keyspaces may store any string here -- the daemon
+        uses it for the engine's full serialized wire result.
+        """
         with self._lock:
-            entry = self._touch(n_wires, canon)
+            entry = self._touch(n_wires, canon, engine)
             entry.size = size
             if len(entry.circuits) < MAX_CIRCUITS_PER_ENTRY or word in entry.circuits:
                 entry.circuits[word] = circuit
 
-    def bound_for(self, n_wires: int, canon: int, engine_max_size: int) -> "int | None":
+    def bound_for(
+        self,
+        n_wires: int,
+        canon: int,
+        engine_max_size: int,
+        engine: str = DEFAULT_ENGINE,
+    ) -> "int | None":
         """A cached lower bound, only if proved at >= this engine depth."""
-        key = (n_wires, canon)
+        key = (engine, n_wires, canon)
         with self._lock:
             entry = self._entries.get(key)
             if (
@@ -142,9 +184,11 @@ class ResultCache:
             self._entries.move_to_end(key)
             return entry.lower_bound
 
-    def _touch(self, n_wires: int, canon: int) -> CacheEntry:
+    def _touch(
+        self, n_wires: int, canon: int, engine: str = DEFAULT_ENGINE
+    ) -> CacheEntry:
         """Get-or-create an entry, refresh LRU order, evict if over."""
-        key = (n_wires, canon)
+        key = (engine, n_wires, canon)
         entry = self._entries.get(key)
         if entry is None:
             entry = CacheEntry(size=None)
@@ -165,8 +209,12 @@ class ResultCache:
     def stats(self) -> dict:
         with self._lock:
             circuits = sum(len(e.circuits) for e in self._entries.values())
+            by_engine: dict[str, int] = {}
+            for engine, _, _ in self._entries:
+                by_engine[engine] = by_engine.get(engine, 0) + 1
             return {
                 "entries": len(self._entries),
+                "entries_by_engine": by_engine,
                 "capacity": self.capacity,
                 "circuits": circuits,
                 "hits": self.hits,
@@ -184,8 +232,9 @@ class ResultCache:
             raise ServiceError("no cache path configured to save to")
         target.parent.mkdir(parents=True, exist_ok=True)
         with self._lock:
-            entries = [
-                {
+            entries = []
+            for (engine, n_wires, canon), entry in self._entries.items():
+                record = {
                     "n": n_wires,
                     "canon": f"{canon:#x}",
                     "size": entry.size,
@@ -196,8 +245,9 @@ class ResultCache:
                         for word, circuit in entry.circuits.items()
                     },
                 }
-                for (n_wires, canon), entry in self._entries.items()
-            ]
+                if engine != DEFAULT_ENGINE:
+                    record["engine"] = engine
+                entries.append(record)
         payload = {"version": CACHE_FORMAT_VERSION, "entries": entries}
         tmp = target.with_suffix(target.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, separators=(",", ":")))
@@ -230,7 +280,11 @@ class ResultCache:
         with self._lock:
             for record in payload["entries"]:
                 try:
-                    key = (int(record["n"]), int(record["canon"], 16))
+                    key = (
+                        str(record.get("engine", DEFAULT_ENGINE)),
+                        int(record["n"]),
+                        int(record["canon"], 16),
+                    )
                     entry = CacheEntry(
                         size=record.get("size"),
                         lower_bound=record.get("lower_bound"),
@@ -255,6 +309,7 @@ class ResultCache:
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "DEFAULT_ENGINE",
     "MAX_CIRCUITS_PER_ENTRY",
     "CacheEntry",
     "CacheHit",

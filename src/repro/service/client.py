@@ -113,15 +113,24 @@ class ServiceClient:
     def ping(self) -> dict:
         return self.request("ping")
 
-    def synth(self, spec, wires: "int | None" = None) -> dict:
-        """Optimal circuit for a spec; raises SizeLimitExceededError when
-        the function is out of the daemon's reach."""
-        return self.request("synth", **self._spec_fields(spec, wires))
+    def synth(
+        self, spec, wires: "int | None" = None, engine: "str | None" = None
+    ) -> dict:
+        """Circuit for a spec; raises SizeLimitExceededError when the
+        function is out of the serving engine's reach.  ``engine`` picks
+        which daemon-side engine answers (default: the optimal one)."""
+        return self.request(
+            "synth", engine=engine, **self._spec_fields(spec, wires)
+        )
 
-    def size(self, spec, wires: "int | None" = None) -> int:
-        """Optimal gate count for a spec."""
+    def size(
+        self, spec, wires: "int | None" = None, engine: "str | None" = None
+    ) -> int:
+        """Gate count for a spec (optimal unless ``engine`` says else)."""
         return int(
-            self.request("size", **self._spec_fields(spec, wires))["size"]
+            self.request(
+                "size", engine=engine, **self._spec_fields(spec, wires)
+            )["size"]
         )
 
     def stats(self) -> dict:

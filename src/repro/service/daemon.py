@@ -17,10 +17,19 @@ on the connection thread; only synthesis work is queued.  Graceful
 shutdown closes the queue (new requests get a ``shutdown`` error
 envelope), drains everything already accepted, persists the result
 cache, and only then stops the transports.
+
+Requests naming a non-default ``engine`` bypass the batched pipeline:
+servable engines from :mod:`repro.engines` are created lazily on first
+use (options from ``config.extra["engine_options"]``), answered
+synchronously on the connection thread under a per-engine lock, and
+cached in their own keyspace of the shared :class:`ResultCache`.  The
+batching machinery exists for the optimal engine's vectorized lookup;
+the others have no batch-wide fast path to exploit.
 """
 
 from __future__ import annotations
 
+import json
 import socketserver
 import threading
 import time
@@ -31,20 +40,23 @@ import numpy as np
 from repro import __version__
 from repro.core.circuit import Circuit
 from repro.core.permutation import Permutation
+from repro.engines import Engine, SynthesisRequest, create_engine
+from repro.engines.optimal import make_optimal_synthesizer
 from repro.errors import (
     ProtocolError,
     ReproError,
     ServiceError,
     ServiceShutdownError,
     SizeLimitExceededError,
+    SynthesisError,
 )
 from repro.service import protocol
 from repro.service.batching import BatchQueue, PendingRequest
-from repro.service.cache import ResultCache
+from repro.service.cache import DEFAULT_ENGINE, ResultCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.workers import HardQueryPool
 from repro.synth.search import peel_minimal_circuit
-from repro.synth.synthesizer import OptimalSynthesizer, SynthesisHandle
+from repro.synth.synthesizer import SynthesisHandle
 
 
 @dataclass
@@ -89,6 +101,9 @@ class SynthesisService:
             coalesce_window=self.config.batch_window,
         )
         self.pool: "HardQueryPool | None" = None
+        self._engines: dict[str, Engine] = {}
+        self._engine_locks: dict[str, threading.Lock] = {}
+        self._engines_lock = threading.Lock()
         self._dispatcher: "threading.Thread | None" = None
         self._shutdown_hooks: list = []
         self._shutdown_lock = threading.Lock()
@@ -104,7 +119,7 @@ class SynthesisService:
     def from_config(cls, config: ServiceConfig) -> "SynthesisService":
         """Prepare the synthesizer (build/load the database) and wire up
         the service around its warm handle."""
-        synth = OptimalSynthesizer(
+        synth = make_optimal_synthesizer(
             n_wires=config.n_wires,
             k=config.k,
             max_list_size=config.max_list_size,
@@ -221,7 +236,13 @@ class SynthesisService:
             return protocol.encode_response(
                 request.id, result={"draining": True}
             )
-        # synth / size: park on the queue and wait for the dispatcher.
+        # synth / size: route by engine.  The default keeps the batched
+        # optimal pipeline; named engines answer on this thread.
+        engine_name = request.engine or DEFAULT_ENGINE
+        self.metrics.counter(f"engine_requests_{engine_name}").inc()
+        if engine_name != DEFAULT_ENGINE:
+            return self._engine_submit(request, engine_name)
+        # Park on the queue and wait for the dispatcher.
         pending = PendingRequest(request)
         try:
             self.queue.put(pending)
@@ -234,6 +255,88 @@ class SynthesisService:
                 request.id, ServiceError("request was never resolved")
             )
         return response
+
+    # ------------------------------------------------------------------
+    # Non-default engines
+    # ------------------------------------------------------------------
+    def _get_engine(self, name: str) -> Engine:
+        """The lazily-created adapter for ``name``; raises on unknown or
+        non-servable names."""
+        with self._engines_lock:
+            engine = self._engines.get(name)
+            if engine is None:
+                options = dict(
+                    self.config.extra.get("engine_options", {}).get(name, {})
+                )
+                options.setdefault("n_wires", self.handle.n_wires)
+                engine = create_engine(name, **options)
+                if not engine.capabilities.servable:
+                    raise SynthesisError(
+                        f"engine {name!r} is not servable over the daemon"
+                    )
+                self._engines[name] = engine
+                self._engine_locks[name] = threading.Lock()
+            return engine
+
+    def _engine_submit(self, request: "protocol.Request", name: str) -> str:
+        """Answer one synth/size request with a non-default engine."""
+        if self.stopping:
+            return self._error_response(
+                request.id, ServiceShutdownError("service is draining")
+            )
+        try:
+            engine = self._get_engine(name)
+        except SynthesisError as exc:
+            return self._error_response(
+                request.id, ProtocolError(str(exc), kind="protocol")
+            )
+        try:
+            perm = Permutation.coerce(
+                request.spec_value(), request.wires or self.handle.n_wires
+            )
+        except ReproError as exc:
+            return self._error_response(request.id, exc)
+        except (TypeError, ValueError) as exc:
+            return self._error_response(
+                request.id,
+                ProtocolError(f"unparseable spec: {exc}", kind="invalid_spec"),
+            )
+        # Engine answers are not class-invariant (relabeling changes the
+        # MMD heuristic's output), so the keyspace is keyed by exact word
+        # and the stored "circuit" is the full serialized wire result.
+        word, n = perm.word, perm.n_wires
+        hit = self.cache.lookup(n, word, word, engine=name)
+        if hit is not None and hit.circuit is not None:
+            self.metrics.counter(f"engine_cache_hits_{name}").inc()
+            self.metrics.counter("served_from_cache").inc()
+            payload, source = json.loads(hit.circuit), "cache"
+        else:
+            started = time.perf_counter()
+            try:
+                with self._engine_locks[name]:
+                    result = engine.synthesize(
+                        SynthesisRequest(spec=perm, n_wires=n)
+                    )
+            except Exception as exc:
+                return self._error_response(request.id, exc)
+            self.metrics.histogram(f"engine_seconds_{name}").observe(
+                time.perf_counter() - started
+            )
+            payload, source = result.to_wire(), "engine"
+            self.cache.store_circuit(
+                n,
+                word,
+                word,
+                result.size,
+                json.dumps(payload, sort_keys=True),
+                engine=name,
+            )
+        self.metrics.counter("responses_ok").inc()
+        body = dict(payload)
+        if request.op == "size":
+            body.pop("circuit", None)
+        body["source"] = source
+        return protocol.encode_response(request.id, result=body)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -259,6 +362,10 @@ class SynthesisService:
             },
             "queue_depth": self.queue.depth,
             "mean_batch_size": batch.get("mean"),
+            "engines": {
+                "default": DEFAULT_ENGINE,
+                "loaded": sorted(self._engines),
+            },
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
         }

@@ -10,12 +10,19 @@ Request::
 
 ``op`` is one of:
 
-* ``synth``     -- optimal circuit for ``spec`` (string spec, value list,
-                   or hex packed word in ``word``).
-* ``size``      -- optimal gate count only (no circuit reconstruction).
+* ``synth``     -- circuit for ``spec`` (string spec, value list, or hex
+                   packed word in ``word``).
+* ``size``      -- gate count only (no circuit in the response).
 * ``stats``     -- metrics snapshot and service configuration.
 * ``ping``      -- liveness check.
 * ``shutdown``  -- ask the daemon to drain pending requests and exit.
+
+``synth``/``size`` requests may carry an ``engine`` field naming which
+synthesis engine answers (see :mod:`repro.engines`); omitted or
+``"optimal"`` routes through the daemon's batched optimal pipeline,
+other servable engines (``heuristic``, ``depth``, ``linear``) are
+served with their own cache keyspace and metrics.  Unknown or
+non-servable engine names get a ``protocol`` error envelope.
 
 Success response::
 
@@ -62,6 +69,7 @@ class Request:
     spec: object = None
     word: "str | None" = None
     wires: "int | None" = None
+    engine: "str | None" = None
     options: dict = field(default_factory=dict)
 
     def spec_value(self):
@@ -111,7 +119,10 @@ def decode_request(line: "str | bytes") -> Request:
             raise ProtocolError(f"word is not valid hex: {word!r}") from exc
     if op in ("synth", "size") and payload.get("spec") is None and word is None:
         raise ProtocolError(f"op {op!r} requires a 'spec' or 'word' field")
-    known = {"id", "op", "spec", "word", "wires"}
+    engine = payload.get("engine")
+    if engine is not None and not isinstance(engine, str):
+        raise ProtocolError(f"engine must be a string, got {engine!r}")
+    known = {"id", "op", "spec", "word", "wires", "engine"}
     options = {k: v for k, v in payload.items() if k not in known}
     return Request(
         op=op,
@@ -119,6 +130,7 @@ def decode_request(line: "str | bytes") -> Request:
         spec=payload.get("spec"),
         word=word,
         wires=wires,
+        engine=engine,
         options=options,
     )
 

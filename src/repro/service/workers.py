@@ -68,9 +68,9 @@ def _init_fork_worker() -> None:
 
 def _init_spawn_worker(n_wires, k, max_list_size, cache_path) -> None:
     global _WORKER_ENGINE
-    from repro.synth.synthesizer import OptimalSynthesizer
+    from repro.engines.optimal import make_optimal_synthesizer
 
-    synth = OptimalSynthesizer(
+    synth = make_optimal_synthesizer(
         n_wires=n_wires,
         k=k,
         max_list_size=max_list_size,

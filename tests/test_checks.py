@@ -373,6 +373,49 @@ class TestTodoTracking:
 
 
 # ---------------------------------------------------------------------------
+# engine-layering
+# ---------------------------------------------------------------------------
+class TestEngineLayering:
+    IMPORT = "from repro.synth.synthesizer import OptimalSynthesizer\n"
+
+    def test_flags_concrete_import_in_service(self):
+        assert "engine-layering" in findings(self.IMPORT, path=SERVICE)
+
+    def test_flags_function_entry_points(self):
+        assert "engine-layering" in findings(
+            "from repro.synth.heuristic import mmd_synthesize\n",
+            path="src/repro/apps/example.py",
+        )
+
+    def test_passes_inside_engines_package(self):
+        assert findings(
+            self.IMPORT, path="src/repro/engines/example.py"
+        ) == []
+
+    def test_passes_inside_defining_package(self):
+        assert findings(self.IMPORT, path=SYNTH) == []
+
+    def test_passes_top_level_reexport(self):
+        assert findings(self.IMPORT, path="src/repro/__init__.py") == []
+
+    def test_tests_are_globally_excluded(self):
+        assert findings(self.IMPORT, path="repo/tests/example.py") == []
+
+    def test_engine_layer_imports_allowed_elsewhere(self):
+        assert findings(
+            "from repro.engines import create_engine\n", path=SERVICE
+        ) == []
+
+    def test_infrastructure_names_not_flagged(self):
+        # SynthesisHandle / peel_minimal_circuit are serving
+        # infrastructure, not engine entry points.
+        assert findings(
+            "from repro.synth.synthesizer import SynthesisHandle\n",
+            path=SERVICE,
+        ) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 class TestSuppressions:

@@ -159,6 +159,48 @@ class TestOtherCommands:
         assert "24" in out
 
 
+class TestEngines:
+    NOT_A_3 = "[1,0,3,2,5,4,7,6]"
+
+    def test_engines_listing(self, capsys):
+        code = main(["engines"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("optimal", "heuristic", "depth", "linear", "portfolio"):
+            assert name in out
+        assert "daemon-servable: depth, heuristic, linear, optimal" in out
+
+    def test_engines_verbose(self, capsys):
+        code = main(["engines", "-v"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "meet-in-the-middle" in out.lower() or "Algorithm 1" in out
+
+    def test_synth_with_heuristic_engine(self, capsys):
+        code = main(
+            ["synth", self.NOT_A_3, "--wires", "3",
+             "--engine", "heuristic", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine        : heuristic" in out
+        assert "heuristic upper bound" in out
+        assert "NOT(a)" in out
+
+    def test_synth_with_depth_engine(self, capsys):
+        code = main(
+            ["synth", self.NOT_A_3, "--wires", "3",
+             "--engine", "depth", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "provably depth-minimal" in out
+
+    def test_synth_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["synth", self.NOT_A_3, "--engine", "warp"])
+
+
 class TestServeAndQuery:
     SHIFT = "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]"
 
@@ -219,11 +261,58 @@ class TestServeAndQuery:
         assert code == 2
         assert "no specs" in err
 
+    def test_query_with_engine(self, capsys, live_daemon):
+        _, port = live_daemon.address
+        code = main(
+            ["query", self.SHIFT, "--engine", "heuristic",
+             "--port", str(port)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[engine]" in out or "[cache]" in out
+
+    def test_query_unknown_engine_exits_1(self, capsys, live_daemon):
+        _, port = live_daemon.address
+        code = main(
+            ["query", self.SHIFT, "--engine", "warp", "--port", str(port)]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "unknown engine" in err
+
     def test_query_connection_refused(self, capsys):
         code = main(["query", self.SHIFT, "--port", "1"])
         err = capsys.readouterr().err
         assert code == 2
         assert "cannot connect" in err
+
+    def test_query_transport_error_midstream_exits_3(
+        self, capsys, monkeypatch
+    ):
+        """A daemon dying mid-stream must not abandon remaining specs or
+        leak a traceback; each failure is reported and the exit is 3."""
+        from repro.errors import ServiceError
+        from repro.service import client as client_mod
+
+        monkeypatch.setattr(
+            client_mod.ServiceClient, "connect", lambda self: self
+        )
+        calls = []
+
+        def flaky_synth(self, spec, wires=None, engine=None):
+            calls.append(spec)
+            if len(calls) == 1:
+                raise ServiceError("connection to daemon lost: reset")
+            return {"size": 4, "source": "db", "circuit": "NOT(a)"}
+
+        monkeypatch.setattr(client_mod.ServiceClient, "synth", flaky_synth)
+        code = main(["query", "spec-one", "spec-two", "--port", "1"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert len(calls) == 2, "remaining specs must still be attempted"
+        assert "transport error" in captured.err
+        assert "connection to daemon lost" in captured.err
+        assert "4 gates" in captured.out
 
     def test_serve_stdio_subprocess(self, tmp_path):
         """Full process boundary: `repro serve --stdio` as a subprocess."""

@@ -1,0 +1,205 @@
+"""Tests for daemon-side engine routing (the protocol's ``engine`` field).
+
+The daemon must serve non-default engines with their own cache keyspace
+and metrics, and the served results must be byte-identical to direct
+in-process adapter calls (modulo the ``source`` tag).
+"""
+
+import json
+
+import pytest
+
+from repro.engines import SynthesisRequest, create_engine
+from repro.service import ServiceConfig, SynthesisService, TCPDaemon
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+
+NOT_A_4 = "[1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14]"  # NOT(a) on 4 wires
+
+
+@pytest.fixture()
+def service(handle4):
+    svc = SynthesisService(
+        handle4,
+        config=ServiceConfig(
+            n_wires=4,
+            k=4,
+            max_list_size=3,
+            extra={"engine_options": {"depth": {"max_depth": 2}}},
+        ),
+    )
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+def ask(svc, payload):
+    return json.loads(svc.handle_line(json.dumps(payload)))
+
+
+class TestEngineRouting:
+    def test_heuristic_synth_byte_identical_to_adapter(self, service):
+        served = ask(
+            service,
+            {"id": 1, "op": "synth", "spec": NOT_A_4, "engine": "heuristic"},
+        )
+        assert served["ok"]
+        result = dict(served["result"])
+        assert result.pop("source") == "engine"
+        direct = (
+            create_engine("heuristic")
+            .synthesize(SynthesisRequest(spec=NOT_A_4, n_wires=4))
+            .to_wire()
+        )
+        assert json.dumps(result, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+
+    def test_depth_synth_uses_engine_options(self, service):
+        served = ask(
+            service,
+            {"id": 2, "op": "synth", "spec": NOT_A_4, "engine": "depth"},
+        )
+        assert served["ok"]
+        assert served["result"]["engine"] == "depth"
+        assert served["result"]["metric"] == "depth"
+        assert served["result"]["depth"] == 1
+
+    def test_second_request_served_from_cache(self, service):
+        first = ask(
+            service,
+            {"id": 3, "op": "synth", "spec": NOT_A_4, "engine": "heuristic"},
+        )["result"]
+        second = ask(
+            service,
+            {"id": 4, "op": "synth", "spec": NOT_A_4, "engine": "heuristic"},
+        )["result"]
+        assert first.pop("source") == "engine"
+        assert second.pop("source") == "cache"
+        assert first == second
+
+    def test_size_op_strips_circuit(self, service):
+        served = ask(
+            service,
+            {"id": 5, "op": "size", "spec": NOT_A_4, "engine": "heuristic"},
+        )
+        assert served["ok"]
+        assert served["result"]["size"] == 1
+        assert "circuit" not in served["result"]
+
+    def test_explicit_optimal_engine_uses_batched_path(self, service):
+        named = ask(
+            service,
+            {"id": 6, "op": "synth", "spec": NOT_A_4, "engine": "optimal"},
+        )["result"]
+        default = ask(
+            service, {"id": 7, "op": "synth", "spec": NOT_A_4}
+        )["result"]
+        named.pop("source")
+        default.pop("source")
+        assert named == default
+
+    def test_unknown_engine_is_protocol_error(self, service):
+        served = ask(
+            service,
+            {"id": 8, "op": "synth", "spec": NOT_A_4, "engine": "nope"},
+        )
+        assert not served["ok"]
+        assert served["error"]["kind"] == "protocol"
+        assert "unknown engine" in served["error"]["message"]
+
+    def test_non_servable_engine_is_protocol_error(self, service):
+        served = ask(
+            service,
+            {"id": 9, "op": "synth", "spec": NOT_A_4, "engine": "sat"},
+        )
+        assert not served["ok"]
+        assert served["error"]["kind"] == "protocol"
+        assert "not servable" in served["error"]["message"]
+
+    def test_bad_engine_type_rejected(self, service):
+        served = ask(
+            service,
+            {"id": 10, "op": "synth", "spec": NOT_A_4, "engine": 7},
+        )
+        assert not served["ok"]
+        assert "engine must be a string" in served["error"]["message"]
+
+    def test_invalid_spec_on_engine_path(self, service):
+        served = ask(
+            service,
+            {"id": 11, "op": "synth", "spec": "[0,0,1]", "engine": "heuristic"},
+        )
+        assert not served["ok"]
+        assert served["error"]["kind"] == "invalid_spec"
+
+    def test_per_engine_metrics_and_stats(self, service):
+        for i, engine in enumerate(("heuristic", "heuristic", "depth")):
+            ask(
+                service,
+                {"id": i, "op": "synth", "spec": NOT_A_4, "engine": engine},
+            )
+        ask(service, {"id": 20, "op": "synth", "spec": NOT_A_4})
+        stats = ask(service, {"id": 21, "op": "stats"})["result"]
+        counters = stats["metrics"]
+        assert counters["engine_requests_heuristic"] == 2
+        assert counters["engine_requests_depth"] == 1
+        assert counters["engine_requests_optimal"] == 1
+        assert counters["engine_cache_hits_heuristic"] == 1
+        assert stats["engines"]["default"] == "optimal"
+        assert stats["engines"]["loaded"] == ["depth", "heuristic"]
+        by_engine = stats["cache"]["entries_by_engine"]
+        assert by_engine["heuristic"] == 1
+        assert by_engine["depth"] == 1
+
+
+class TestClientEngineParam:
+    def test_client_routes_engine(self, service):
+        daemon = TCPDaemon(service, port=0)
+        daemon.start()
+        try:
+            _, port = daemon.address
+            with ServiceClient(port=port) as client:
+                result = client.synth(NOT_A_4, engine="heuristic")
+                assert result["engine"] == "heuristic"
+                assert result["guarantee"] == "heuristic"
+                assert client.size(NOT_A_4, engine="heuristic") == 1
+                # Default stays the optimal batched pipeline.
+                default = client.synth(NOT_A_4)
+                assert "guarantee" not in default
+        finally:
+            daemon.stop()
+
+
+class TestCacheKeyspaces:
+    def test_keyspaces_do_not_mix(self):
+        cache = ResultCache(capacity=8)
+        cache.store_size(4, 123, 5)
+        assert cache.lookup(4, 123) is not None
+        assert cache.lookup(4, 123, engine="heuristic") is None
+        cache.store_circuit(4, 123, 123, 7, "payload", engine="heuristic")
+        hit = cache.lookup(4, 123, 123, engine="heuristic")
+        assert hit.size == 7 and hit.circuit == "payload"
+        assert cache.lookup(4, 123).size == 5
+
+    def test_persistence_round_trips_engine_keyspaces(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(capacity=8, path=path)
+        cache.store_size(4, 1, 3)
+        cache.store_circuit(4, 2, 2, 4, '{"size":4}', engine="depth")
+        cache.save()
+        records = json.loads(path.read_text())["entries"]
+        # Default keyspace stays unmarked, so old cache files load as-is.
+        engines = {r.get("engine", "optimal") for r in records}
+        assert engines == {"optimal", "depth"}
+        reloaded = ResultCache(capacity=8, path=path)
+        assert reloaded.lookup(4, 1).size == 3
+        assert reloaded.lookup(4, 2, 2, engine="depth").circuit == '{"size":4}'
+        assert reloaded.lookup(4, 2, 2) is None
+
+    def test_stats_count_by_engine(self):
+        cache = ResultCache(capacity=8)
+        cache.store_size(4, 1, 3)
+        cache.store_size(4, 2, 3, engine="linear")
+        stats = cache.stats()
+        assert stats["entries_by_engine"] == {"optimal": 1, "linear": 1}
