@@ -66,6 +66,11 @@ class CheckConfig:
     lock_init_methods: tuple[str, ...] = _tuple(
         "__init__", "__post_init__", "__new__"
     )
+    #: Files where every wait()/join() must carry a timeout (the
+    #: unbounded-wait rule): the service layer's no-hung-thread policy.
+    wait_scope: tuple[str, ...] = _tuple("repro/service/",)
+    #: Method names the unbounded-wait rule treats as waits.
+    wait_methods: tuple[str, ...] = _tuple("wait", "join")
 
     # --- determinism -------------------------------------------------
     #: Compute paths that must stay deterministic.
@@ -145,6 +150,8 @@ _PYPROJECT_KEYS = {
     "lock-scope": "lock_scope",
     "lock-names": "lock_names",
     "blocking-methods": "blocking_methods",
+    "wait-scope": "wait_scope",
+    "wait-methods": "wait_methods",
     "determinism-scope": "determinism_scope",
     "determinism-exempt": "determinism_exempt",
     "allowed-time-functions": "allowed_time_functions",

@@ -9,6 +9,15 @@ from repro.checks.rules import (  # noqa: F401  (import = registration)
     locks,
     mask64,
     todo,
+    waits,
 )
 
-__all__ = ["api_misuse", "determinism", "layering", "locks", "mask64", "todo"]
+__all__ = [
+    "api_misuse",
+    "determinism",
+    "layering",
+    "locks",
+    "mask64",
+    "todo",
+    "waits",
+]

@@ -1,0 +1,60 @@
+"""unbounded-wait: every blocking wait in the service must be bounded.
+
+The resilience work (PR 4) exists because the daemon must never hang: a
+wedged dispatcher, a dead worker, or a lost wakeup should degrade into a
+timeout that some layer can observe and act on.  A bare ``.wait()`` or
+``.join()`` undoes that guarantee at a single call site -- the thread
+parks forever and no supervisor ever hears about it.
+
+This rule flags calls to the configured wait methods (``wait``,
+``join`` by default) that pass neither a positional argument nor a
+``timeout=`` keyword, inside the configured scope (``repro/service/``).
+The stdlib's ``multiprocessing.Pool.join`` genuinely has no timeout
+parameter; such sites carry a ``# repro: allow[unbounded-wait]``
+suppression with the reason spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.registry import FileContext, Rule, register
+from repro.checks.rules.locks import _expr_text
+
+
+@register
+class UnboundedWaitRule(Rule):
+    """``.wait()``/``.join()`` calls with no timeout."""
+
+    id = "unbounded-wait"
+    family = "lock-discipline"
+    description = (
+        "wait()/join() without a timeout can park a thread forever; pass "
+        "a bound (loop if the wait must be indefinite) or suppress with "
+        "a reason where the API has no timeout parameter"
+    )
+    scope_field = "wait_scope"
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method not in ctx.config.wait_methods:
+                continue
+            if node.args:
+                continue  # positional timeout
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            receiver = _expr_text(node.func.value)
+            what = f"{receiver}.{method}" if receiver else method
+            yield ctx.finding(
+                self, node,
+                f"{what}() has no timeout and may block forever; pass "
+                "timeout= (loop on it if the wait must be indefinite)",
+            )
+
+
+__all__ = ["UnboundedWaitRule"]

@@ -7,6 +7,7 @@ Subcommands:
 * ``build-db``        -- pre-compute and cache the BFS database.
 * ``serve``           -- run the long-lived synthesis daemon (TCP/stdio).
 * ``query``           -- query a running daemon.
+* ``health``          -- a running daemon's resilience status.
 * ``linear``          -- Table 5: all 4-bit linear reversible functions.
 * ``random N``        -- size distribution of N random permutations.
 * ``benchmarks``      -- synthesize the Table 6 benchmark suite.
@@ -171,6 +172,13 @@ def cmd_build_db(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service import ServiceConfig, SynthesisService, TCPDaemon, serve_stdio
 
+    resilience = {}
+    if args.hard_timeout is not None:
+        resilience["hard_timeout"] = args.hard_timeout
+    if args.breaker_threshold is not None:
+        resilience["breaker_failure_threshold"] = args.breaker_threshold
+    if args.breaker_cooldown is not None:
+        resilience["breaker_cooldown"] = args.breaker_cooldown
     config = ServiceConfig(
         n_wires=args.wires,
         k=args.k,
@@ -181,6 +189,7 @@ def cmd_serve(args) -> int:
         result_cache_path=args.result_cache,
         db_cache_dir=False if args.no_cache else None,
         verbose=not args.stdio,
+        extra={"resilience": resilience} if resilience else {},
     )
     service = SynthesisService.from_config(config)
     if args.stdio:
@@ -201,9 +210,16 @@ def cmd_serve(args) -> int:
 def cmd_query(args) -> int:
     import json
 
-    from repro.service import ServiceClient
+    from repro.service import RetryPolicy, ServiceClient
 
-    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+    retry = RetryPolicy(retries=args.retries) if args.retries > 0 else None
+    with ServiceClient(
+        args.host,
+        args.port,
+        connect_timeout=args.connect_timeout,
+        read_timeout=args.timeout,
+        retry=retry,
+    ) as client:
         if args.stats:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
@@ -222,12 +238,20 @@ def cmd_query(args) -> int:
         for spec in specs:
             try:
                 if args.size_only:
-                    print(f"{spec} -> {client.size(spec, engine=args.engine)}")
+                    print(
+                        f"{spec} -> "
+                        f"{client.size(spec, engine=args.engine, deadline_ms=args.deadline_ms)}"
+                    )
                 else:
-                    result = client.synth(spec, engine=args.engine)
+                    result = client.synth(
+                        spec, engine=args.engine, deadline_ms=args.deadline_ms
+                    )
+                    tag = result["source"]
+                    if result.get("guarantee") == "upper_bound":
+                        tag += f", upper bound ({result.get('degraded_reason')})"
                     print(
                         f"{spec} -> {result['size']} gates "
-                        f"[{result['source']}]: {result['circuit']}"
+                        f"[{tag}]: {result['circuit']}"
                     )
             except SizeLimitExceededError as exc:
                 print(f"{spec} -> size > bound (lower bound {exc.lower_bound})")
@@ -248,6 +272,19 @@ def cmd_query(args) -> int:
         if transport_failures:
             return 3
         return 1 if failures else 0
+
+
+def cmd_health(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(
+        args.host, args.port, connect_timeout=args.connect_timeout
+    ) as client:
+        body = client.health()
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0 if body.get("status") == "ok" else 1
 
 
 def cmd_linear(args) -> int:
@@ -481,6 +518,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result-cache JSON file (loaded at start, "
         "saved at shutdown)",
     )
+    p_serve.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        help="seconds one hard-query batch may run before the worker "
+        "pool is presumed dead and restarted (default 120)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="consecutive hard-path failures that trip the circuit "
+        "breaker open (default 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=None,
+        help="seconds the breaker stays open before probing (default 30)",
+    )
     _add_synth_options(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -488,7 +545,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("spec", nargs="*", help="spec strings to synthesize")
     p_query.add_argument("--host", default="127.0.0.1")
     p_query.add_argument("--port", type=int, default=7878)
-    p_query.add_argument("--timeout", type=float, default=60.0)
+    p_query.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for each response (read timeout)",
+    )
+    p_query.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for the TCP handshake",
+    )
+    p_query.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry attempts with backoff for safe failures (0 = off)",
+    )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="server-side latency budget per query; hard queries that "
+        "cannot fit it return an upper-bound answer instead of blocking",
+    )
     p_query.add_argument(
         "--engine",
         default=None,
@@ -507,6 +588,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true", help="drain and stop the daemon"
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_health = sub.add_parser(
+        "health",
+        help="print a running daemon's resilience status "
+        "(exit 1 unless status is ok)",
+    )
+    p_health.add_argument("--host", default="127.0.0.1")
+    p_health.add_argument("--port", type=int, default=7878)
+    p_health.add_argument("--connect-timeout", type=float, default=5.0)
+    p_health.set_defaults(func=cmd_health)
 
     p_linear = sub.add_parser("linear", help="Table 5: linear functions")
     p_linear.add_argument("--wires", type=int, default=4)

@@ -20,6 +20,7 @@ concrete synthesizer classes are imported here and nowhere above.
 from repro.engines.api import (
     GUARANTEE_HEURISTIC,
     GUARANTEE_OPTIMAL,
+    GUARANTEE_UPPER_BOUND,
     METRIC_DEPTH,
     METRIC_GATES,
     Engine,
@@ -40,6 +41,7 @@ from repro.engines.registry import (
 __all__ = [
     "GUARANTEE_HEURISTIC",
     "GUARANTEE_OPTIMAL",
+    "GUARANTEE_UPPER_BOUND",
     "METRIC_DEPTH",
     "METRIC_GATES",
     "Engine",

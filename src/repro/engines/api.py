@@ -33,6 +33,10 @@ from repro.synth.cost import gate_cost
 #: Guarantee labels used across engines.
 GUARANTEE_OPTIMAL = "optimal"
 GUARANTEE_HEURISTIC = "heuristic"
+#: A valid circuit whose size is only an upper bound on the optimum --
+#: the label of service responses degraded under deadline pressure or an
+#: open circuit breaker (see repro.service.resilience).
+GUARANTEE_UPPER_BOUND = "upper_bound"
 
 #: Optimization metrics engines may target.
 METRIC_GATES = "gates"
@@ -201,6 +205,7 @@ class Engine:
 __all__ = [
     "GUARANTEE_HEURISTIC",
     "GUARANTEE_OPTIMAL",
+    "GUARANTEE_UPPER_BOUND",
     "METRIC_DEPTH",
     "METRIC_GATES",
     "Engine",

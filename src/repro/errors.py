@@ -65,6 +65,33 @@ class ServiceShutdownError(ServiceError):
     or has already stopped."""
 
 
+class ServiceConnectError(ServiceError):
+    """Raised when a client cannot establish a connection to the daemon
+    (refused, unreachable, DNS failure).  Always safe to retry: the
+    request never reached the daemon."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a client-side socket deadline elapses.
+
+    :attr:`phase` distinguishes the two failure modes: ``"connect"``
+    (the TCP handshake never completed -- safe to retry) and ``"read"``
+    (the request may have been delivered and even executed -- retry only
+    idempotent operations).
+    """
+
+    def __init__(self, message: str, phase: str = "read") -> None:
+        super().__init__(message)
+        self.phase = phase
+
+
+class WorkerPoolError(ServiceError):
+    """Raised when the hard-query worker pool fails to produce results:
+    a worker died mid-batch, the pool is broken, or a batch exceeded its
+    supervision timeout.  The supervisor restarts the pool and requeues
+    the batch before letting this escape to the dispatcher."""
+
+
 class UnsatisfiableError(ReproError):
     """Raised by the SAT subsystem when a formula is proven unsatisfiable
     and the caller asked for a model."""

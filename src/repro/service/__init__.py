@@ -7,6 +7,11 @@ protocol (TCP or stdio) with batch coalescing through the vectorized
 lookup path, a result cache keyed by canonical representative, a
 multiprocessing pool for hard queries, and a metrics registry exposed
 via the ``stats`` request.  See ``docs/SERVICE.md``.
+
+The hard-query path is wrapped in a resilience layer -- circuit
+breaker, worker supervision, per-request deadlines with graceful
+degradation, crash-safe cache persistence, and a deterministic
+fault-injection harness -- documented in ``docs/RESILIENCE.md``.
 """
 
 from repro.service.batching import BatchQueue, PendingRequest
@@ -18,23 +23,39 @@ from repro.service.daemon import (
     TCPDaemon,
     serve_stdio,
 )
+from repro.service.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilienceConfig,
+    RetryPolicy,
+    WorkerSupervisor,
+)
 from repro.service.workers import HardQueryPool, HardResult
 
 __all__ = [
     "BatchQueue",
     "CacheHit",
+    "CircuitBreaker",
     "Counter",
+    "Deadline",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "Gauge",
     "HardQueryPool",
     "HardResult",
     "Histogram",
     "MetricsRegistry",
     "PendingRequest",
+    "ResilienceConfig",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "SynthesisService",
     "TCPDaemon",
+    "WorkerSupervisor",
     "serve_stdio",
 ]

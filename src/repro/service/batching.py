@@ -30,12 +30,15 @@ class PendingRequest:
     dispatcher fulfills it with :meth:`resolve`.
     """
 
-    __slots__ = ("request", "enqueued_at", "response", "_event")
+    __slots__ = ("request", "enqueued_at", "response", "deadline", "_event")
 
-    def __init__(self, request) -> None:
+    def __init__(self, request, deadline=None) -> None:
         self.request = request
         self.enqueued_at = time.perf_counter()
         self.response: "dict | None" = None
+        #: Optional :class:`repro.service.resilience.Deadline`, created
+        #: at accept time so queue time counts against the budget.
+        self.deadline = deadline
         self._event = threading.Event()
 
     def resolve(self, response: dict) -> None:
@@ -98,7 +101,9 @@ class BatchQueue:
             while not self._items:
                 if self._closed:
                     return None
-                self._not_empty.wait()
+                # Bounded wait: close() notifies, but a bounded loop also
+                # survives a missed wakeup instead of parking forever.
+                self._not_empty.wait(timeout=0.5)
             # Something is pending.  Give concurrent producers a short
             # window to pile on, unless we already have a full batch or
             # are draining a closed queue (no new producers can arrive).

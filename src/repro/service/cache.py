@@ -22,17 +22,31 @@ thread-safe, and optionally persistent: ``save()`` writes a versioned
 JSON file that ``load()`` (or the constructor) replays, so a restarted
 daemon starts warm.  Records without an ``engine`` field belong to
 ``optimal``, which keeps files from older daemons loadable.
+
+Persistence is crash-safe: ``save()`` writes a temp file, fsyncs it,
+atomically renames it over the target, and fsyncs the directory, and
+the payload carries a SHA-256 checksum over the serialized entries so a
+torn or bit-flipped file is *detected* rather than half-loaded.  The
+constructor treats a corrupt file as survivable: it quarantines the
+file (rename to ``<name>.corrupt``) and starts cold, recording what
+happened for the ``health`` op.  An explicit :meth:`load` still raises,
+so callers that need the strict behaviour keep it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ServiceError
+
+log = logging.getLogger(__name__)
 
 #: On-disk format version; bump on incompatible change.
 CACHE_FORMAT_VERSION = 1
@@ -87,8 +101,35 @@ class ResultCache:
         )
         self.hits = 0
         self.misses = 0
+        #: Whether the most recent :meth:`save` succeeded (None = never saved).
+        self.last_save_ok: "bool | None" = None
+        #: Set when the constructor quarantined a corrupt cache file.
+        self.quarantined: "Path | None" = None
+        self.load_error: "str | None" = None
         if self.path and self.path.exists():
-            self.load(self.path)
+            try:
+                self.load(self.path)
+            except ServiceError as exc:
+                # A corrupt persisted cache must not take the daemon down:
+                # every entry is recomputable.  Quarantine the file (so the
+                # evidence survives and the next save doesn't overwrite it)
+                # and start cold.
+                self.quarantined = self.path.with_suffix(
+                    self.path.suffix + ".corrupt"
+                )
+                self.load_error = str(exc)
+                try:
+                    self.path.replace(self.quarantined)
+                except OSError:
+                    self.quarantined = None
+                log.warning(
+                    "result cache load failed; quarantined %s and starting "
+                    "cold: %s",
+                    self.quarantined or self.path,
+                    exc,
+                )
+                with self._lock:
+                    self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -222,11 +263,32 @@ class ResultCache:
                 "hit_rate": self.hit_rate(),
             }
 
+    def health(self) -> dict:
+        """JSON-ready persistence status for the ``health`` op."""
+        with self._lock:
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "persistent": self.path is not None,
+            "quarantined": str(self.quarantined) if self.quarantined else None,
+            "load_error": self.load_error,
+            "last_save_ok": self.last_save_ok,
+        }
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: "str | Path | None" = None) -> Path:
-        """Write all entries as versioned JSON; returns the path used."""
+        """Write all entries as versioned, checksummed JSON; returns the
+        path used.
+
+        Crash-safe: the payload is written to a temp file, fsynced, and
+        atomically renamed over the target (followed by a best-effort
+        directory fsync), so a crash mid-save leaves either the old file
+        or the new one -- never a torn mix.  The SHA-256 checksum over
+        the serialized entries lets :meth:`load` detect corruption that
+        slips past the JSON parser.
+        """
         target = Path(path) if path else self.path
         if target is None:
             raise ServiceError("no cache path configured to save to")
@@ -248,10 +310,34 @@ class ResultCache:
                 if engine != DEFAULT_ENGINE:
                     record["engine"] = engine
                 entries.append(record)
-        payload = {"version": CACHE_FORMAT_VERSION, "entries": entries}
+        entries_json = json.dumps(entries, separators=(",", ":"))
+        checksum = hashlib.sha256(entries_json.encode("utf-8")).hexdigest()
+        payload = (
+            '{"version":%d,"checksum":"%s","entries":%s}'
+            % (CACHE_FORMAT_VERSION, checksum, entries_json)
+        )
         tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, separators=(",", ":")))
-        tmp.replace(target)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+            try:
+                dir_fd = os.open(target.parent, os.O_RDONLY)
+            except OSError:
+                pass  # platform without directory fds; rename is still atomic
+            else:
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+        except OSError as exc:
+            self.last_save_ok = False
+            raise ServiceError(
+                f"failed to persist result cache to {target}: {exc}"
+            ) from exc
+        self.last_save_ok = True
         return target
 
     def load(self, path: "str | Path") -> int:
@@ -276,6 +362,19 @@ class ResultCache:
                 f"result cache file {path} has unsupported version "
                 f"{payload.get('version')!r} (expected {CACHE_FORMAT_VERSION})"
             )
+        checksum = payload.get("checksum")
+        if checksum is not None:
+            # Files from before the checksum footer lack the field and
+            # still load; a present-but-wrong checksum means corruption.
+            entries_json = json.dumps(
+                payload["entries"], separators=(",", ":")
+            )
+            actual = hashlib.sha256(entries_json.encode("utf-8")).hexdigest()
+            if actual != checksum:
+                raise ServiceError(
+                    f"result cache file {path} failed its checksum "
+                    f"(stored {checksum[:12]}..., computed {actual[:12]}...)"
+                )
         added = 0
         with self._lock:
             for record in payload["entries"]:

@@ -6,15 +6,41 @@ daemon's batch coalescing).  Errors come back as the library exceptions
 they encode -- a ``size_limit`` envelope raises
 :class:`SizeLimitExceededError` with the proven bound, exactly like the
 in-process API.
+
+Failure handling is typed and retry-aware:
+
+* Connect failures raise :class:`ServiceConnectError` (refused /
+  unreachable) or :class:`ServiceTimeoutError` with ``phase="connect"``
+  -- the request never reached the daemon, so retrying is always safe.
+* Read failures raise :class:`ServiceTimeoutError` with ``phase="read"``
+  or :class:`ServiceError` -- the daemon may have executed the request,
+  so only *idempotent* ops are retried (see :data:`SAFE_RETRY_OPS`;
+  ``synth``/``size`` answers are pure functions of the canonical
+  representative, so re-asking is harmless; ``shutdown`` is not re-sent).
+* Pass a :class:`repro.service.resilience.RetryPolicy` to enable
+  automatic reconnect-and-retry with exponential backoff and
+  deterministic (seeded) jitter.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import (
+    ProtocolError,
+    ServiceConnectError,
+    ServiceError,
+    ServiceTimeoutError,
+)
 from repro.service import protocol
+from repro.service.resilience import RetryPolicy
+
+#: Ops whose effects are idempotent, hence safe to retry after a *read*
+#: failure (the daemon may have already executed the first attempt).
+SAFE_RETRY_OPS = ("synth", "size", "ping", "stats", "health")
 
 
 class ServiceClient:
@@ -25,14 +51,39 @@ class ServiceClient:
         with ServiceClient("127.0.0.1", 7878) as client:
             result = client.synth("[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]")
             print(result["size"], result["circuit"])
+
+    ``connect_timeout`` bounds the TCP handshake (fail-fast default:
+    5 s), ``read_timeout`` bounds each response wait (default: 60 s, the
+    worst-case hard scan is long).  The legacy single ``timeout``
+    argument sets both.  ``retry`` enables automatic retries with
+    backoff; ``retry_seed`` makes the jitter schedule reproducible.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7878,
+        timeout: "float | None" = None,
+        *,
+        connect_timeout: "float | None" = None,
+        read_timeout: "float | None" = None,
+        retry: "RetryPolicy | None" = None,
+        retry_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
-        self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout
+            if connect_timeout is not None
+            else (timeout if timeout is not None else 5.0)
+        )
+        self.read_timeout = (
+            read_timeout
+            if read_timeout is not None
+            else (timeout if timeout is not None else 60.0)
+        )
+        self.retry = retry
+        self._rng = random.Random(retry_seed)
         self._sock: "socket.socket | None" = None
         self._file = None
         self._next_id = 0
@@ -44,12 +95,20 @@ class ServiceClient:
         if self._sock is None:
             try:
                 self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
+                    (self.host, self.port), timeout=self.connect_timeout
                 )
+            except socket.timeout as exc:
+                raise ServiceTimeoutError(
+                    f"connect to daemon at {self.host}:{self.port} timed "
+                    f"out after {self.connect_timeout}s",
+                    phase="connect",
+                ) from exc
             except OSError as exc:
-                raise ServiceError(
+                raise ServiceConnectError(
                     f"cannot connect to daemon at {self.host}:{self.port}: {exc}"
                 ) from exc
+            # Past the handshake every wait is a *read* wait.
+            self._sock.settimeout(self.read_timeout)
             self._file = self._sock.makefile("rwb")
         return self
 
@@ -84,6 +143,12 @@ class ServiceClient:
             self._file.write(line.encode("utf-8"))
             self._file.flush()
             response = self._file.readline()
+        except socket.timeout as exc:
+            self.close()
+            raise ServiceTimeoutError(
+                f"daemon did not respond within {self.read_timeout}s",
+                phase="read",
+            ) from exc
         except OSError as exc:
             self.close()
             raise ServiceError(f"connection to daemon lost: {exc}") from exc
@@ -93,11 +158,28 @@ class ServiceClient:
         return protocol.decode_response(response)
 
     def request(self, op: str, **fields) -> dict:
-        """Send a request, raise on error envelope, return the result."""
+        """Send a request, raise on error envelope, return the result.
+
+        With a :class:`RetryPolicy` configured, failed attempts are
+        retried (after a backoff sleep) when retrying is provably safe:
+        connect-phase failures always are -- the daemon never saw the
+        request -- read-phase failures only for :data:`SAFE_RETRY_OPS`.
+        The request keeps its ``id`` across attempts.
+        """
         self._next_id += 1
         payload = {"id": self._next_id, "op": op}
         payload.update({k: v for k, v in fields.items() if v is not None})
-        envelope = self.request_raw(payload)
+        attempts = self.retry.retries if self.retry is not None else 0
+        attempt = 0
+        while True:
+            try:
+                envelope = self.request_raw(payload)
+                break
+            except (ServiceConnectError, ServiceTimeoutError, ServiceError) as exc:
+                if attempt >= attempts or not self._retriable(op, exc):
+                    raise
+                time.sleep(self.retry.delay(attempt, self._rng))
+                attempt += 1
         if envelope.get("id") != self._next_id:
             raise ProtocolError(
                 f"response id {envelope.get('id')!r} does not match "
@@ -107,6 +189,16 @@ class ServiceClient:
             protocol.raise_for_error(envelope.get("error", {}))
         return envelope.get("result", {})
 
+    @staticmethod
+    def _retriable(op: str, exc: ServiceError) -> bool:
+        """Is retrying this failure safe for this op?"""
+        if isinstance(exc, ServiceConnectError):
+            return True
+        if isinstance(exc, ServiceTimeoutError) and exc.phase == "connect":
+            return True
+        # Read-phase failure: the daemon may have executed the request.
+        return op in SAFE_RETRY_OPS
+
     # ------------------------------------------------------------------
     # Typed helpers
     # ------------------------------------------------------------------
@@ -114,27 +206,48 @@ class ServiceClient:
         return self.request("ping")
 
     def synth(
-        self, spec, wires: "int | None" = None, engine: "str | None" = None
+        self,
+        spec,
+        wires: "int | None" = None,
+        engine: "str | None" = None,
+        deadline_ms: "int | None" = None,
     ) -> dict:
         """Circuit for a spec; raises SizeLimitExceededError when the
         function is out of the serving engine's reach.  ``engine`` picks
-        which daemon-side engine answers (default: the optimal one)."""
+        which daemon-side engine answers (default: the optimal one);
+        ``deadline_ms`` caps server-side latency -- a hard query that
+        cannot fit the budget comes back with ``"guarantee":
+        "upper_bound"`` instead of blocking."""
         return self.request(
-            "synth", engine=engine, **self._spec_fields(spec, wires)
+            "synth",
+            engine=engine,
+            deadline_ms=deadline_ms,
+            **self._spec_fields(spec, wires),
         )
 
     def size(
-        self, spec, wires: "int | None" = None, engine: "str | None" = None
+        self,
+        spec,
+        wires: "int | None" = None,
+        engine: "str | None" = None,
+        deadline_ms: "int | None" = None,
     ) -> int:
         """Gate count for a spec (optimal unless ``engine`` says else)."""
         return int(
             self.request(
-                "size", engine=engine, **self._spec_fields(spec, wires)
+                "size",
+                engine=engine,
+                deadline_ms=deadline_ms,
+                **self._spec_fields(spec, wires),
             )["size"]
         )
 
     def stats(self) -> dict:
         return self.request("stats")
+
+    def health(self) -> dict:
+        """The daemon's resilience status (breaker, pool, cache)."""
+        return self.request("health")
 
     def shutdown(self) -> dict:
         """Ask the daemon to drain and exit."""
@@ -154,4 +267,4 @@ class ServiceClient:
         return {"spec": spec, "wires": wires}
 
 
-__all__ = ["ServiceClient"]
+__all__ = ["SAFE_RETRY_OPS", "ServiceClient"]

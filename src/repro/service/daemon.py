@@ -12,11 +12,20 @@ Architecture::
                     -> fast path: circuit peeling (size <= k)
                     -> hard path: HardQueryPool (A_i-list scans)
 
-Control ops (``ping``/``stats``/``shutdown``) are answered synchronously
-on the connection thread; only synthesis work is queued.  Graceful
-shutdown closes the queue (new requests get a ``shutdown`` error
-envelope), drains everything already accepted, persists the result
-cache, and only then stops the transports.
+Control ops (``ping``/``stats``/``health``/``shutdown``) are answered
+synchronously on the connection thread; only synthesis work is queued.
+Graceful shutdown closes the queue (new requests get a ``shutdown``
+error envelope), drains everything already accepted, persists the
+result cache, and only then stops the transports.
+
+The hard path is wrapped in resilience machinery (see
+:mod:`repro.service.resilience` and ``docs/RESILIENCE.md``): a
+:class:`WorkerSupervisor` bounds every ``A_i``-scan batch and restarts
+dead/hung pools, a :class:`CircuitBreaker` sheds hard queries after
+consecutive failures or deadline misses, and requests carrying
+``deadline_ms`` degrade to an upper-bound answer from the fallback
+engine instead of blowing their budget -- a response is always written,
+never a hung connection.
 
 Requests naming a non-default ``engine`` bypass the batched pipeline:
 servable engines from :mod:`repro.engines` are created lazily on first
@@ -30,6 +39,7 @@ the others have no batch-wide fast path to exploit.
 from __future__ import annotations
 
 import json
+import logging
 import socketserver
 import threading
 import time
@@ -40,7 +50,12 @@ import numpy as np
 from repro import __version__
 from repro.core.circuit import Circuit
 from repro.core.permutation import Permutation
-from repro.engines import Engine, SynthesisRequest, create_engine
+from repro.engines import (
+    GUARANTEE_UPPER_BOUND,
+    Engine,
+    SynthesisRequest,
+    create_engine,
+)
 from repro.engines.optimal import make_optimal_synthesizer
 from repro.errors import (
     ProtocolError,
@@ -53,10 +68,19 @@ from repro.errors import (
 from repro.service import protocol
 from repro.service.batching import BatchQueue, PendingRequest
 from repro.service.cache import DEFAULT_ENGINE, ResultCache
+from repro.service.faults import FaultInjector
 from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilienceConfig,
+    WorkerSupervisor,
+)
 from repro.service.workers import HardQueryPool
 from repro.synth.search import peel_minimal_circuit
 from repro.synth.synthesizer import SynthesisHandle
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -100,7 +124,13 @@ class SynthesisService:
             max_batch=self.config.max_batch,
             coalesce_window=self.config.batch_window,
         )
-        self.pool: "HardQueryPool | None" = None
+        self.resilience = ResilienceConfig.from_extra(self.config.extra)
+        self.faults = FaultInjector.from_extra(self.config.extra)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.resilience.breaker_failure_threshold,
+            cooldown=self.resilience.breaker_cooldown,
+        )
+        self.supervisor: "WorkerSupervisor | None" = None
         self._engines: dict[str, Engine] = {}
         self._engine_locks: dict[str, threading.Lock] = {}
         self._engines_lock = threading.Lock()
@@ -141,13 +171,26 @@ class SynthesisService:
         """
         if self._dispatcher is not None:
             return self
-        self.pool = HardQueryPool(self.handle, processes=self.config.workers)
+        pool = HardQueryPool(self.handle, processes=self.config.workers)
+        self.supervisor = WorkerSupervisor(
+            pool,
+            hard_timeout=self.resilience.hard_timeout,
+            max_restarts=self.resilience.max_restarts,
+            metrics=self.metrics,
+            faults=self.faults,
+        )
         self._started_at = time.monotonic()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-dispatcher", daemon=True
         )
         self._dispatcher.start()
         return self
+
+    @property
+    def pool(self) -> "HardQueryPool | None":
+        """The *current* hard-query pool (changes across supervisor
+        restarts); None before :meth:`start`."""
+        return self.supervisor.pool if self.supervisor is not None else None
 
     @property
     def stopping(self) -> bool:
@@ -174,21 +217,31 @@ class SynthesisService:
         if already_started:
             # Wait outside the lock: blocking here while holding it would
             # deadlock a concurrent first-caller that still needs it.
-            self._stopped.wait()
+            # Bounded waits in a loop so a stuck shutdown stays observable
+            # (and interruptible) instead of parking this thread forever.
+            while not self._stopped.wait(timeout=1.0):
+                pass
             return
         self.queue.close()
         if self._dispatcher is not None:
-            self._dispatcher.join()
+            while self._dispatcher.is_alive():
+                self._dispatcher.join(timeout=1.0)
         # Anything that raced past close without being dispatched.
         for pending in self.queue.drain_remaining():
             pending.resolve(self._error_response(
                 pending.request.id,
                 ServiceShutdownError("service stopped before dispatch"),
             ))
-        if self.pool is not None:
-            self.pool.close()
+        if self.supervisor is not None:
+            self.supervisor.close()
         if save_cache and self.cache.path is not None:
-            self.cache.save()
+            try:
+                self.cache.save()
+            except ServiceError as exc:
+                log.error("result cache save failed during shutdown: %s", exc)
+            else:
+                if self.faults is not None:
+                    self.faults.corrupt_cache_file(self.cache.path)
         for hook in self._shutdown_hooks:
             try:
                 hook()
@@ -225,12 +278,19 @@ class SynthesisService:
         """Execute one decoded request and return the response line."""
         self.metrics.counter("requests_total").inc()
         self.metrics.counter(f"requests_{request.op}").inc()
+        # The deadline starts at accept time, *before* any injected delay
+        # or queueing: everything the daemon spends counts against it.
+        deadline = Deadline.from_ms(request.deadline_ms)
+        if self.faults is not None:
+            self.faults.delay_request(request.op)
         if request.op == "ping":
             return protocol.encode_response(
                 request.id, result={"pong": True, "version": __version__}
             )
         if request.op == "stats":
             return protocol.encode_response(request.id, result=self.stats())
+        if request.op == "health":
+            return protocol.encode_response(request.id, result=self.health())
         if request.op == "shutdown":
             self.request_shutdown()
             return protocol.encode_response(
@@ -242,17 +302,25 @@ class SynthesisService:
         self.metrics.counter(f"engine_requests_{engine_name}").inc()
         if engine_name != DEFAULT_ENGINE:
             return self._engine_submit(request, engine_name)
-        # Park on the queue and wait for the dispatcher.
-        pending = PendingRequest(request)
+        # Park on the queue and wait for the dispatcher.  The wait is
+        # bounded by ``request_timeout`` -- the server-side backstop that
+        # guarantees a connection thread can never hang forever even if
+        # the dispatcher wedges.
+        pending = PendingRequest(request, deadline=deadline)
         try:
             self.queue.put(pending)
         except ServiceShutdownError as exc:
             return self._error_response(request.id, exc)
         self.metrics.gauge("queue_depth").set(self.queue.depth)
-        response = pending.wait()
-        if response is None:  # pragma: no cover - defensive
+        response = pending.wait(self.resilience.request_timeout)
+        if response is None:
+            self.metrics.counter("responses_timeout").inc()
             return self._error_response(
-                request.id, ServiceError("request was never resolved")
+                request.id,
+                ServiceError(
+                    "request was not resolved within "
+                    f"{self.resilience.request_timeout}s"
+                ),
             )
         return response
 
@@ -368,7 +436,55 @@ class SynthesisService:
             },
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
+            "resilience": {
+                "breaker": self.breaker.snapshot(),
+                "pool": (
+                    self.supervisor.liveness()
+                    if self.supervisor is not None
+                    else None
+                ),
+            },
         }
+
+    def health(self) -> dict:
+        """Resilience status (the ``health`` op payload).
+
+        ``status`` is ``"ok"`` when everything is nominal, ``"degraded"``
+        when the breaker is not closed, workers are dead, or the
+        persisted cache was quarantined, and ``"stopping"`` during
+        shutdown.  Cheap enough for tight poll loops: no engine work, no
+        queue traffic.
+        """
+        breaker = self.breaker.snapshot()
+        pool = (
+            self.supervisor.liveness() if self.supervisor is not None else None
+        )
+        cache = self.cache.health()
+        dispatcher_alive = (
+            self._dispatcher is not None and self._dispatcher.is_alive()
+        )
+        if self.stopping:
+            status = "stopping"
+        elif (
+            breaker["state"] != CircuitBreaker.CLOSED
+            or (pool is not None and pool["dead"] > 0)
+            or cache["quarantined"] is not None
+            or not dispatcher_alive
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        body = {
+            "status": status,
+            "version": __version__,
+            "dispatcher_alive": dispatcher_alive,
+            "breaker": breaker,
+            "pool": pool,
+            "cache": cache,
+        }
+        if self.faults is not None:
+            body["faults"] = self.faults.snapshot()
+        return body
 
     # ------------------------------------------------------------------
     # Dispatcher
@@ -468,35 +584,122 @@ class SynthesisService:
                 ))
                 continue
             hard.append((pending, word, canon))
-        # Phase 4: hard queries fan out to the worker pool.
-        if hard:
-            scan_started = time.perf_counter()
-            self.metrics.counter("hard_queries").inc(len(hard))
-            results = self.pool.solve_many([w for _, w, _ in hard])
-            self.metrics.histogram("scan_seconds").observe(
-                time.perf_counter() - scan_started
+        # Phase 4: hard queries fan out to the worker pool -- unless the
+        # breaker is open or a request's deadline cannot fit a scan, in
+        # which case the request degrades to an upper-bound answer from
+        # the fallback engine (never an error, never a hung connection).
+        if not hard:
+            return
+        estimate = (
+            self.metrics.histogram("scan_seconds").percentile(0.9) or 0.0
+        )
+        scan_items: list[tuple[PendingRequest, int, int]] = []
+        for item in hard:
+            pending, word, canon = item
+            deadline = pending.deadline
+            if deadline is not None and (
+                deadline.expired() or deadline.remaining() < estimate
+            ):
+                self.metrics.counter("deadline_misses").inc()
+                self.breaker.record_deadline_miss()
+                self._resolve_degraded(pending, word, "deadline")
+                continue
+            if not self.breaker.allow():
+                self._resolve_degraded(pending, word, "breaker_open")
+                continue
+            scan_items.append(item)
+        if not scan_items:
+            return
+        scan_started = time.perf_counter()
+        self.metrics.counter("hard_queries").inc(len(scan_items))
+        try:
+            results = self.supervisor.solve_many(
+                [w for _, w, _ in scan_items]
             )
-            for (pending, word, canon), result in zip(hard, results):
-                request = pending.request
-                if result.lower_bound is not None:
-                    self.cache.store_bound(
-                        n, canon, result.lower_bound, self.handle.max_size
-                    )
-                    pending.resolve(self._error_response(
-                        request.id,
-                        SizeLimitExceededError(
-                            result.message, lower_bound=result.lower_bound
-                        ),
-                    ))
-                    continue
-                self.cache.store_circuit(
-                    n, canon, word, result.size, result.circuit
+        except ServiceError as exc:
+            # The pool kept failing even across restarts.  The breaker
+            # counts it; the requests degrade rather than error -- the
+            # fallback engine runs in-process and owes nothing to the pool.
+            self.breaker.record_failure()
+            log.error("hard-query batch failed after restarts: %s", exc)
+            for pending, word, _ in scan_items:
+                self._resolve_degraded(pending, word, "pool_failure")
+            return
+        self.metrics.histogram("scan_seconds").observe(
+            time.perf_counter() - scan_started
+        )
+        missed = 0
+        for (pending, word, canon), result in zip(scan_items, results):
+            request = pending.request
+            if pending.deadline is not None and pending.deadline.expired():
+                # The scan finished but blew the budget: the exact answer
+                # still goes out (discarding computed work helps nobody),
+                # but the miss counts toward tripping the breaker.
+                missed += 1
+                self.metrics.counter("deadline_misses").inc()
+                self.breaker.record_deadline_miss()
+            if result.lower_bound is not None:
+                self.cache.store_bound(
+                    n, canon, result.lower_bound, self.handle.max_size
                 )
-                pending.resolve(self._ok_synthesis(
-                    request, word, result.size, result.circuit, "scan",
-                    lists_scanned=result.lists_scanned,
-                    candidates_tested=result.candidates_tested,
+                pending.resolve(self._error_response(
+                    request.id,
+                    SizeLimitExceededError(
+                        result.message, lower_bound=result.lower_bound
+                    ),
                 ))
+                continue
+            self.cache.store_circuit(
+                n, canon, word, result.size, result.circuit
+            )
+            pending.resolve(self._ok_synthesis(
+                request, word, result.size, result.circuit, "scan",
+                lists_scanned=result.lists_scanned,
+                candidates_tested=result.candidates_tested,
+            ))
+        if not missed:
+            self.breaker.record_success()
+
+    def _resolve_degraded(
+        self, pending: PendingRequest, word: int, reason: str
+    ) -> None:
+        """Answer a hard request from the fallback engine.
+
+        The result is a *valid* circuit whose size is only an upper bound
+        on the optimum, labeled ``"guarantee": "upper_bound"`` with the
+        degradation ``reason`` (``deadline``, ``breaker_open``,
+        ``pool_failure``).  Degraded answers are never cached: a later
+        uncontended query for the same class deserves the exact scan.
+        """
+        request = pending.request
+        name = self.resilience.fallback_engine
+        try:
+            engine = self._get_engine(name)
+            with self._engine_locks[name]:
+                result = engine.synthesize(SynthesisRequest(
+                    spec=Permutation(word, self.handle.n_wires),
+                    n_wires=self.handle.n_wires,
+                ))
+        except Exception as exc:  # pragma: no cover - fallback engine broke
+            pending.resolve(self._error_response(request.id, exc))
+            return
+        self.metrics.counter("responses_ok").inc()
+        self.metrics.counter("responses_degraded").inc()
+        self.metrics.counter(f"degraded_{reason}").inc()
+        body = {
+            "spec": Permutation(word, self.handle.n_wires).spec(),
+            "word": protocol.word_to_hex(word),
+            "size": result.size,
+            "source": "degraded",
+            "guarantee": GUARANTEE_UPPER_BOUND,
+            "degraded_reason": reason,
+            "tier": name,
+        }
+        if request.op == "synth":
+            body["circuit"] = result.circuit
+            body["depth"] = result.depth
+            body["cost"] = result.cost
+        pending.resolve(protocol.encode_response(request.id, result=body))
 
     def _resolve_db_hit(
         self, pending: PendingRequest, word: int, canon: int, size: int
@@ -576,6 +779,13 @@ class _TCPHandler(socketserver.StreamRequestHandler):
             if not line.strip():
                 continue
             response = service.handle_line(line.strip())
+            if (
+                service.faults is not None
+                and service.faults.should_drop_connection()
+            ):
+                # Injected fault: close the connection without writing the
+                # response, as a crashed daemon or broken network would.
+                return
             try:
                 self.wfile.write(response.encode("utf-8") + b"\n")
                 self.wfile.flush()
@@ -635,12 +845,28 @@ class TCPDaemon:
             self.stop()
 
     def stop(self) -> None:
-        """Gracefully drain the service and close the listener."""
+        """Gracefully drain the service and close the listener.
+
+        A serving thread that survives its join timeout is an error, not
+        a shrug: it means connections are still being handled after the
+        caller was told the daemon stopped.  Surface it.
+        """
         self.service.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
-        self._server.server_close()
+        thread, self._thread = self._thread, None
+        try:
+            if thread is not None:
+                thread.join(timeout=5)
+                if thread.is_alive():
+                    log.error(
+                        "TCP serving thread %s failed to stop within 5s; "
+                        "listener state is undefined", thread.name,
+                    )
+                    raise ServiceError(
+                        "TCP serving thread failed to stop within 5s "
+                        "(a connection handler is wedged)"
+                    )
+        finally:
+            self._server.server_close()
 
     def __enter__(self) -> "TCPDaemon":
         return self.start()

@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the synthesis service.
+
+Chaos testing only earns its keep when every recovery path can be
+driven on purpose.  A :class:`FaultPlan` is a finite list of
+:class:`FaultSpec` entries -- no randomness, no clocks -- wired in via
+``ServiceConfig.extra["fault_plan"]``; the daemon consults its
+:class:`FaultInjector` at fixed injection points ("stages") and each
+armed spec fires a bounded number of ``times`` before disarming.
+
+Supported fault kinds and the stage each fires at:
+
+===================  ============  =============================================
+kind                 stage         effect
+===================  ============  =============================================
+``delay``            request       sleep ``delay`` seconds on the connection
+                                   thread before enqueueing (burns the
+                                   request's ``deadline_ms`` budget)
+``drop_connection``  response      the TCP handler closes the connection
+                                   instead of writing the response
+``kill_worker``      hard          SIGKILL every live hard-pool worker right
+                                   after a batch is dispatched to the pool
+``corrupt_cache``    cache_save    garble the persisted result-cache file
+                                   after a successful save (simulates a torn
+                                   write for the next load)
+===================  ============  =============================================
+
+``delay`` specs may carry an ``op`` filter (fire only for that protocol
+op); the other kinds fire at stages where the op is not in scope.
+Everything the injector did is visible in ``health`` via
+:meth:`FaultInjector.snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+#: Known fault kinds and the injection stage each fires at.
+FAULT_STAGES = {
+    "delay": "request",
+    "drop_connection": "response",
+    "kill_worker": "hard",
+    "corrupt_cache": "cache_save",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what to do, where, and how many times."""
+
+    kind: str
+    times: int = 1
+    delay: float = 0.0
+    op: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_STAGES:
+            raise ServiceError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(sorted(FAULT_STAGES))})"
+            )
+        if self.times < 1:
+            raise ServiceError(f"fault times must be >= 1, got {self.times}")
+        if self.kind == "delay" and self.delay <= 0:
+            raise ServiceError("delay faults need a positive 'delay' seconds")
+        if self.op is not None and self.kind != "delay":
+            raise ServiceError(
+                f"'op' filter is only supported for delay faults, "
+                f"not {self.kind!r}"
+            )
+
+    @property
+    def stage(self) -> str:
+        return FAULT_STAGES[self.kind]
+
+
+class FaultPlan:
+    """An ordered, finite list of faults to inject."""
+
+    def __init__(self, specs: "list[FaultSpec]") -> None:
+        self.specs = list(specs)
+
+    @classmethod
+    def from_dicts(cls, raw) -> "FaultPlan":
+        """Validate ``extra["fault_plan"]`` (a list of plain dicts)."""
+        if not isinstance(raw, (list, tuple)):
+            raise ServiceError(
+                "fault_plan must be a list of fault dicts, "
+                f"got {type(raw).__name__}"
+            )
+        specs = []
+        allowed = {"kind", "times", "delay", "op"}
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise ServiceError(
+                    f"fault_plan entries must be dicts, got {entry!r}"
+                )
+            unknown = sorted(set(entry) - allowed)
+            if unknown:
+                raise ServiceError(
+                    f"unknown fault field(s): {', '.join(unknown)} "
+                    f"(valid: {', '.join(sorted(allowed))})"
+                )
+            specs.append(FaultSpec(**entry))
+        return cls(specs)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` and fires matching specs at each stage.
+
+    Thread-safe: specs are taken (and their remaining count decremented)
+    under a lock, so a fault planned ``times: 1`` fires exactly once even
+    under concurrent connections.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._lock = threading.Lock()
+        self._armed = [[spec, spec.times] for spec in plan.specs]
+        self._fired: dict[str, int] = {}
+
+    @classmethod
+    def from_extra(cls, extra: "dict | None") -> "FaultInjector | None":
+        """The injector for ``ServiceConfig.extra`` (None when no plan)."""
+        raw = (extra or {}).get("fault_plan")
+        if not raw:
+            return None
+        return cls(FaultPlan.from_dicts(raw))
+
+    def _take(self, stage: str, op: "str | None" = None) -> "FaultSpec | None":
+        """First armed spec matching ``stage`` (and ``op``), consumed."""
+        with self._lock:
+            for slot in self._armed:
+                spec, remaining = slot
+                if remaining < 1 or spec.stage != stage:
+                    continue
+                if spec.op is not None and spec.op != op:
+                    continue
+                slot[1] = remaining - 1
+                self._fired[spec.kind] = self._fired.get(spec.kind, 0) + 1
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # Injection points (called by the daemon / supervisor / transports)
+    # ------------------------------------------------------------------
+    def delay_request(self, op: str) -> float:
+        """Stage ``request``: sleep on the connection thread; returns the
+        seconds slept (0.0 when no delay fault is armed)."""
+        spec = self._take("request", op=op)
+        if spec is None:
+            return 0.0
+        time.sleep(spec.delay)
+        return spec.delay
+
+    def should_drop_connection(self) -> bool:
+        """Stage ``response``: should the transport drop instead of
+        writing the response?"""
+        return self._take("response") is not None
+
+    def kill_workers(self, pool) -> int:
+        """Stage ``hard``: SIGKILL every live pool worker; returns how
+        many were killed (0 when unarmed or the pool is inline)."""
+        if self._take("hard") is None:
+            return 0
+        killed = 0
+        for pid in pool.worker_pids():
+            try:
+                os.kill(pid, signal.SIGKILL)
+                killed += 1
+            except OSError:  # already gone
+                pass
+        return killed
+
+    def corrupt_cache_file(self, path) -> bool:
+        """Stage ``cache_save``: garble the saved cache file (truncate to
+        half and append garbage -- both the JSON parse and the checksum
+        will reject it on the next load)."""
+        if self._take("cache_save") is None or path is None:
+            return False
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return False
+        path.write_bytes(data[: max(1, len(data) // 2)] + b"\x00garbled")
+        return True
+
+    def snapshot(self) -> dict:
+        """JSON-ready injector state for ``health``."""
+        with self._lock:
+            armed = sum(1 for _, remaining in self._armed if remaining > 0)
+            return {"armed": armed, "fired": dict(self._fired)}
+
+
+__all__ = ["FAULT_STAGES", "FaultInjector", "FaultPlan", "FaultSpec"]

@@ -14,6 +14,8 @@ Request::
                    packed word in ``word``).
 * ``size``      -- gate count only (no circuit in the response).
 * ``stats``     -- metrics snapshot and service configuration.
+* ``health``    -- resilience status: circuit breaker, pool liveness,
+                   cache persistence state.
 * ``ping``      -- liveness check.
 * ``shutdown``  -- ask the daemon to drain pending requests and exit.
 
@@ -23,6 +25,13 @@ synthesis engine answers (see :mod:`repro.engines`); omitted or
 other servable engines (``heuristic``, ``depth``, ``linear``) are
 served with their own cache keyspace and metrics.  Unknown or
 non-servable engine names get a ``protocol`` error envelope.
+
+``synth``/``size`` requests may also carry ``deadline_ms``, a positive
+integer budget in milliseconds starting when the daemon accepts the
+request (queue time counts).  A request whose hard ``A_i``-scan cannot
+fit the remaining budget is answered from the fallback engine with
+``"guarantee": "upper_bound"`` instead of blocking -- degraded, never
+hung.  See ``docs/RESILIENCE.md``.
 
 Success response::
 
@@ -54,7 +63,7 @@ from repro.errors import (
 )
 
 #: Ops understood by the daemon.
-OPS = ("synth", "size", "stats", "ping", "shutdown")
+OPS = ("synth", "size", "stats", "health", "ping", "shutdown")
 
 #: Maximum accepted line length (guards the reader against garbage input).
 MAX_LINE_BYTES = 1 << 20
@@ -70,6 +79,7 @@ class Request:
     word: "str | None" = None
     wires: "int | None" = None
     engine: "str | None" = None
+    deadline_ms: "int | None" = None
     options: dict = field(default_factory=dict)
 
     def spec_value(self):
@@ -122,7 +132,16 @@ def decode_request(line: "str | bytes") -> Request:
     engine = payload.get("engine")
     if engine is not None and not isinstance(engine, str):
         raise ProtocolError(f"engine must be a string, got {engine!r}")
-    known = {"id", "op", "spec", "word", "wires", "engine"}
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, int)
+        or deadline_ms < 1
+    ):
+        raise ProtocolError(
+            f"deadline_ms must be a positive integer, got {deadline_ms!r}"
+        )
+    known = {"id", "op", "spec", "word", "wires", "engine", "deadline_ms"}
     options = {k: v for k, v in payload.items() if k not in known}
     return Request(
         op=op,
@@ -131,6 +150,7 @@ def decode_request(line: "str | bytes") -> Request:
         word=word,
         wires=wires,
         engine=engine,
+        deadline_ms=deadline_ms,
         options=options,
     )
 

@@ -24,9 +24,12 @@ non-trivial constructors survive and the parent rebuilds them.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import threading
 from dataclasses import dataclass
 
-from repro.errors import ServiceError, SizeLimitExceededError
+from repro.errors import ServiceError, SizeLimitExceededError, WorkerPoolError
 
 #: Handle inherited by fork-started workers (set in the parent just
 #: before the pool is created; visible to children copy-on-write).
@@ -125,6 +128,7 @@ class HardQueryPool:
         global _FORK_HANDLE
         self.handle = handle
         self.processes = max(0, processes)
+        self.start_method = start_method
         self._pool = None
         if self.processes == 0:
             return
@@ -163,18 +167,105 @@ class HardQueryPool:
     def is_parallel(self) -> bool:
         return self._pool is not None
 
-    def solve_many(self, words: "list[int]") -> "list[HardResult]":
-        """Solve a batch of hard words, preserving input order."""
+    def worker_pids(self) -> "list[int]":
+        """PIDs of live worker processes (empty for the inline pool).
+
+        Reads the pool's private worker list: the stdlib exposes no
+        public liveness surface, and supervision needs one.
+        """
+        if self._pool is None:
+            return []
+        return [p.pid for p in self._pool._pool if p.is_alive()]
+
+    def alive_workers(self) -> int:
+        """How many worker processes are currently alive."""
+        return len(self.worker_pids())
+
+    def solve_many(
+        self,
+        words: "list[int]",
+        timeout: "float | None" = None,
+        on_dispatch=None,
+    ) -> "list[HardResult]":
+        """Solve a batch of hard words, preserving input order.
+
+        ``timeout`` bounds the whole batch; exceeding it raises
+        :class:`WorkerPoolError` (a killed worker's task is silently
+        lost by ``multiprocessing.Pool``, so a bounded wait is the only
+        reliable dead/hung-worker detector).  ``on_dispatch`` is called
+        with the pool after the batch is handed to the workers -- the
+        fault-injection hook used by the chaos suite.
+        """
         if not words:
             return []
         if self._pool is None:
+            if on_dispatch is not None:
+                on_dispatch(self)
             return [solve_with_engine(self.handle.engine, w) for w in words]
-        return self._pool.map(solve_word, words, chunksize=1)
+        async_result = self._pool.map_async(solve_word, words, chunksize=1)
+        if on_dispatch is not None:
+            on_dispatch(self)
+        try:
+            return async_result.get(timeout)
+        except multiprocessing.TimeoutError as exc:
+            raise WorkerPoolError(
+                f"hard-query batch of {len(words)} word(s) exceeded its "
+                f"{timeout}s supervision timeout (worker dead or hung)"
+            ) from exc
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise WorkerPoolError(f"hard-query pool failed: {exc}") from exc
+
+    def restarted(self) -> "HardQueryPool":
+        """Terminate this pool and return a fresh one with the same
+        configuration (the supervisor's restart primitive)."""
+        self.terminate()
+        return HardQueryPool(
+            self.handle,
+            processes=self.processes,
+            start_method=self.start_method,
+        )
+
+    def terminate(self, grace: float = 5.0) -> None:
+        """Kill workers immediately (no graceful drain).
+
+        A worker SIGKILLed mid-task can die *holding the pool's shared
+        task-queue lock*, and the stdlib ``Pool.terminate`` drains that
+        queue under the same lock -- so a naive teardown of a broken
+        pool deadlocks forever.  Teardown therefore runs on a watchdog
+        thread bounded by ``grace`` seconds; if it wedges, the surviving
+        workers are SIGKILLed directly and the pool object is abandoned
+        (``terminate`` flips the pool's state before the wedge point, so
+        no new workers respawn, and its helper threads are daemonic).
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pids = [p.pid for p in pool._pool if p.is_alive()]
+
+        def _teardown() -> None:
+            pool.terminate()
+            # repro: allow[unbounded-wait] multiprocessing.Pool.join has no timeout parameter; the watchdog join below bounds this thread
+            pool.join()
+
+        reaper = threading.Thread(
+            target=_teardown, name="pool-teardown", daemon=True
+        )
+        reaper.start()
+        reaper.join(timeout=grace)
+        if reaper.is_alive():
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
 
     def close(self) -> None:
         global _FORK_HANDLE
         if self._pool is not None:
             self._pool.close()
+            # repro: allow[unbounded-wait] multiprocessing.Pool.join has no timeout parameter; close() precedes it so idle workers exit promptly
             self._pool.join()
             self._pool = None
         if _FORK_HANDLE is self.handle:

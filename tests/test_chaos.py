@@ -1,0 +1,268 @@
+"""Chaos suite: deterministic fault injection against a live service.
+
+Every test arms a :class:`FaultPlan` via ``ServiceConfig.extra``, drives
+the daemon into the planned failure, and then proves the *recovery*:
+subsequent queries answer correctly, degraded answers are valid circuits
+labeled ``upper_bound``, and the breaker/supervisor state is visible in
+``stats``/``health``.  No randomness, no sleeps-and-hope: each fault
+fires a counted number of times at a fixed injection stage.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.permutation import Permutation
+from repro.service import (
+    ResultCache,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConfig,
+    SynthesisService,
+    TCPDaemon,
+)
+
+#: Size-5 specs: above the k=4 database depth of the shared fixtures,
+#: so they always take the hard (A_i-list scan) path on first sight.
+HARD_SPEC = "[8,3,2,9,7,12,5,14,0,11,10,1,15,4,13,6]"
+HARD_SPEC_2 = "[6,7,13,5,0,1,10,3,15,14,4,12,8,9,2,11]"
+
+IDENTITY = "[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]"
+SHIFT = "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,0]"
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def make_service(handle4, extra=None, **config_kwargs) -> SynthesisService:
+    config = ServiceConfig(
+        n_wires=4, k=4, max_list_size=3, batch_window=0.0,
+        extra=extra or {}, **config_kwargs,
+    )
+    return SynthesisService(handle4, config=config).start()
+
+
+def submit(svc, op, **fields) -> dict:
+    line = json.dumps({"id": fields.pop("id", 1), "op": op, **fields})
+    return json.loads(svc.handle_line(line))
+
+
+# ----------------------------------------------------------------------
+# Deadline pressure -> graceful degradation
+# ----------------------------------------------------------------------
+class TestDeadlineDegradation:
+    def test_blown_deadline_returns_upper_bound_not_hang(self, handle4):
+        # The injected delay burns the 50 ms budget before dispatch, so
+        # the hard query MUST degrade: a valid circuit, upper_bound
+        # guarantee, and an explanation -- never a blocked connection.
+        svc = make_service(handle4, extra={
+            "fault_plan": [{"kind": "delay", "delay": 0.3, "op": "synth"}],
+        })
+        try:
+            started = time.perf_counter()
+            body = submit(svc, "synth", spec=HARD_SPEC, deadline_ms=50)
+            elapsed = time.perf_counter() - started
+            assert body["ok"]
+            result = body["result"]
+            assert result["source"] == "degraded"
+            assert result["guarantee"] == "upper_bound"
+            assert result["degraded_reason"] == "deadline"
+            assert result["tier"] == "heuristic"
+            assert result["size"] >= 5  # true optimum is 5
+            circuit = Circuit.parse(result["circuit"], 4)
+            assert circuit.implements(Permutation.coerce(HARD_SPEC, 4))
+            # Degradation is fast: no scan happened after the deadline.
+            assert elapsed < 5.0
+            assert svc.metrics.counter("responses_degraded").value == 1
+            assert svc.metrics.counter("deadline_misses").value >= 1
+        finally:
+            svc.shutdown()
+
+    def test_degraded_answer_is_not_cached(self, handle4):
+        svc = make_service(handle4, extra={
+            "fault_plan": [{"kind": "delay", "delay": 0.3, "op": "synth"}],
+        })
+        try:
+            degraded = submit(svc, "synth", spec=HARD_SPEC, deadline_ms=50)
+            assert degraded["result"]["guarantee"] == "upper_bound"
+            # Same spec, no deadline: the exact scan runs (a cached
+            # degraded answer would come back as source "cache").
+            exact = submit(svc, "synth", spec=HARD_SPEC, id=2)
+            assert exact["result"]["size"] == 5
+            assert exact["result"]["source"] == "scan"
+            assert "guarantee" not in exact["result"]
+        finally:
+            svc.shutdown()
+
+    def test_generous_deadline_still_exact(self, handle4):
+        svc = make_service(handle4)
+        try:
+            body = submit(svc, "synth", spec=HARD_SPEC, deadline_ms=600_000)
+            assert body["result"]["size"] == 5
+            assert body["result"]["source"] == "scan"
+        finally:
+            svc.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker transitions, visible end to end
+# ----------------------------------------------------------------------
+class TestBreakerTransitions:
+    def test_trip_shed_probe_close(self, handle4):
+        svc = make_service(handle4, extra={
+            "fault_plan": [{"kind": "delay", "delay": 0.3, "op": "synth"}],
+            "resilience": {
+                "breaker_failure_threshold": 1,
+                "breaker_cooldown": 0.2,
+            },
+        })
+        try:
+            # One deadline miss trips the threshold-1 breaker open.
+            first = submit(svc, "synth", spec=HARD_SPEC, deadline_ms=50)
+            assert first["result"]["degraded_reason"] == "deadline"
+            snap = svc.stats()["resilience"]["breaker"]
+            assert snap["state"] == "open" and snap["trips"] == 1
+            assert svc.health()["status"] == "degraded"
+            # While open, hard queries shed to the fallback without a scan.
+            shed = submit(svc, "synth", spec=HARD_SPEC_2, id=2)
+            assert shed["result"]["degraded_reason"] == "breaker_open"
+            assert shed["result"]["guarantee"] == "upper_bound"
+            # Fast-path queries are unaffected by an open breaker.
+            easy = submit(svc, "size", spec=SHIFT, id=3)
+            assert easy["ok"] and easy["result"]["source"] in ("db", "cache")
+            # After the cooldown the probe scan runs and closes it.
+            time.sleep(0.25)
+            probe = submit(svc, "synth", spec=HARD_SPEC_2, id=4)
+            assert probe["result"]["size"] == 5
+            assert probe["result"]["source"] == "scan"
+            snap = svc.stats()["resilience"]["breaker"]
+            assert snap["state"] == "closed"
+            assert svc.health()["status"] == "ok"
+        finally:
+            svc.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Dropped connection mid-response -> client retry recovers
+# ----------------------------------------------------------------------
+class TestDropConnection:
+    def test_client_retries_through_drop(self, handle4):
+        svc = make_service(handle4, extra={
+            "fault_plan": [{"kind": "drop_connection"}],
+        })
+        daemon = TCPDaemon(svc, port=0)
+        daemon.start()
+        host, port = daemon.address
+        try:
+            client = ServiceClient(
+                host, port, connect_timeout=2.0, read_timeout=10.0,
+                retry=RetryPolicy(retries=2, backoff_base=0.01, jitter=0.0),
+            )
+            # First response is swallowed by the fault; the retry
+            # reconnects and gets the answer.
+            assert client.size(IDENTITY) == 0
+            health = client.health()
+            assert health["faults"]["fired"] == {"drop_connection": 1}
+            client.close()
+        finally:
+            daemon.stop()
+
+    def test_without_retry_the_drop_surfaces(self, handle4):
+        from repro.errors import ServiceError
+
+        svc = make_service(handle4, extra={
+            "fault_plan": [{"kind": "drop_connection"}],
+        })
+        daemon = TCPDaemon(svc, port=0)
+        daemon.start()
+        host, port = daemon.address
+        try:
+            client = ServiceClient(host, port, connect_timeout=2.0,
+                                   read_timeout=10.0)
+            with pytest.raises(ServiceError, match="closed the connection"):
+                client.size(IDENTITY)
+            # The daemon itself is fine: a fresh request answers.
+            assert client.size(IDENTITY) == 0
+            client.close()
+        finally:
+            daemon.stop()
+
+
+# ----------------------------------------------------------------------
+# Killed workers mid-query -> supervisor restarts and requeues
+# ----------------------------------------------------------------------
+class TestKillWorker:
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_supervisor_restarts_pool_and_answers(self, handle4):
+        svc = make_service(
+            handle4,
+            workers=2,
+            extra={
+                "fault_plan": [{"kind": "kill_worker"}],
+                "resilience": {"hard_timeout": 1.0, "max_restarts": 2},
+            },
+        )
+        try:
+            # The fault SIGKILLs every worker right after the batch is
+            # dispatched; the bounded wait detects the lost tasks, the
+            # supervisor rebuilds the pool and requeues, and the query
+            # still comes back exact.
+            body = submit(svc, "synth", spec=HARD_SPEC)
+            assert body["ok"], body
+            assert body["result"]["size"] == 5
+            assert body["result"]["source"] == "scan"
+            circuit = Circuit.parse(body["result"]["circuit"], 4)
+            assert circuit.implements(Permutation.coerce(HARD_SPEC, 4))
+            health = svc.health()
+            assert health["pool"]["restarts"] == 1
+            assert health["pool"]["alive"] == 2
+            assert health["faults"]["fired"] == {"kill_worker": 1}
+            assert svc.metrics.counter("pool_restarts").value == 1
+            assert svc.metrics.counter("hard_batch_retries").value == 1
+            # The daemon keeps serving afterwards.
+            again = submit(svc, "size", spec=HARD_SPEC_2, id=2)
+            assert again["ok"] and again["result"]["size"] == 5
+        finally:
+            svc.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Corrupt persisted cache -> quarantine and keep serving
+# ----------------------------------------------------------------------
+class TestCorruptCache:
+    def test_quarantine_and_recover(self, handle4, tmp_path):
+        cache_path = tmp_path / "results.json"
+        first = make_service(
+            handle4,
+            result_cache_path=str(cache_path),
+            extra={"fault_plan": [{"kind": "corrupt_cache"}]},
+        )
+        warm = submit(first, "size", spec=SHIFT)
+        assert warm["ok"]
+        # Shutdown saves the cache, then the fault garbles the file --
+        # the simulated torn write.
+        first.shutdown()
+        assert cache_path.exists()
+
+        second = make_service(handle4, result_cache_path=str(cache_path))
+        try:
+            # The corrupt file was quarantined, not fatal.
+            assert second.cache.quarantined is not None
+            assert second.cache.quarantined.exists()
+            health = second.health()
+            assert health["status"] == "degraded"
+            assert health["cache"]["quarantined"] is not None
+            # And the daemon still answers correctly from scratch.
+            body = submit(second, "size", spec=SHIFT)
+            assert body["ok"]
+            assert body["result"]["size"] == warm["result"]["size"]
+        finally:
+            second.shutdown()
+        # The post-quarantine shutdown save produced a clean file again.
+        third = ResultCache(path=cache_path)
+        assert third.quarantined is None
+        assert len(third) > 0

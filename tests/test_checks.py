@@ -160,7 +160,7 @@ class TestLockDiscipline:
                 def next_item(self):
                     with self._cond:
                         while not self._items:
-                            self._cond.wait()
+                            self._cond.wait(timeout=0.5)
             """,
             path=SERVICE,
         ) == []
@@ -186,6 +186,67 @@ class TestLockDiscipline:
             """,
             path=SERVICE,
         )
+
+
+# ---------------------------------------------------------------------------
+# unbounded-wait
+# ---------------------------------------------------------------------------
+class TestUnboundedWait:
+    def test_flags_bare_wait(self):
+        assert "unbounded-wait" in findings(
+            """
+            def stop(event):
+                event.wait()
+            """,
+            path=SERVICE,
+        )
+
+    def test_flags_bare_join(self):
+        assert "unbounded-wait" in findings(
+            """
+            def stop(thread):
+                thread.join()
+            """,
+            path=SERVICE,
+        )
+
+    def test_passes_timeout_keyword(self):
+        assert findings(
+            """
+            def stop(event):
+                while not event.wait(timeout=1.0):
+                    pass
+            """,
+            path=SERVICE,
+        ) == []
+
+    def test_passes_positional_timeout(self):
+        assert findings(
+            """
+            def stop(thread):
+                thread.join(5)
+            """,
+            path=SERVICE,
+        ) == []
+
+    def test_suppression_comment(self):
+        assert findings(
+            """
+            def stop(pool):
+                # repro: allow[unbounded-wait] Pool.join has no timeout parameter
+                pool.join()
+            """,
+            path=SERVICE,
+        ) == []
+
+    def test_out_of_scope_path_ignored(self):
+        assert findings(
+            """
+            def stop(thread):
+                thread.join()
+            """,
+            path=SYNTH,
+        ) == []
 
 
 # ---------------------------------------------------------------------------
@@ -483,6 +544,7 @@ class TestRegistry:
         assert {r.id for r in rules} == {
             "mixed-lock-mutation",
             "blocking-call-under-lock",
+            "unbounded-wait",
         }
 
     def test_select_unknown_raises(self):

@@ -299,7 +299,7 @@ class TestServeAndQuery:
         )
         calls = []
 
-        def flaky_synth(self, spec, wires=None, engine=None):
+        def flaky_synth(self, spec, wires=None, engine=None, deadline_ms=None):
             calls.append(spec)
             if len(calls) == 1:
                 raise ServiceError("connection to daemon lost: reset")

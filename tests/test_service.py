@@ -105,11 +105,26 @@ class TestProtocol:
             ('{"op": "size", "word": "zz"}', "not valid hex"),
             ('{"op": "size", "word": 17}', "hex string"),
             ('{"op": "synth", "spec": "x", "wires": 9}', "wires"),
+            ('{"op": "synth", "spec": "x", "deadline_ms": 0}', "deadline_ms"),
+            ('{"op": "synth", "spec": "x", "deadline_ms": -5}', "deadline_ms"),
+            ('{"op": "synth", "spec": "x", "deadline_ms": "1s"}', "deadline_ms"),
+            ('{"op": "synth", "spec": "x", "deadline_ms": true}', "deadline_ms"),
         ],
     )
     def test_decode_rejects(self, line, match):
         with pytest.raises(ProtocolError, match=match):
             protocol.decode_request(line)
+
+    def test_decode_deadline_ms(self):
+        req = protocol.decode_request(
+            '{"op": "synth", "spec": "[0,1,2,3]", "deadline_ms": 250}'
+        )
+        assert req.deadline_ms == 250
+        assert "deadline_ms" not in req.options
+
+    def test_decode_health_op(self):
+        req = protocol.decode_request('{"op": "health"}')
+        assert req.op == "health"
 
     def test_response_roundtrip(self):
         line = protocol.encode_response(7, result={"size": 3})
