@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.packed_np import canonical_conjugation_only_np, canonical_np
 from repro.engines import create_engine
-from repro.synth.cost import CostOptimalSynthesizer, build_cost_database
+from repro.synth.cost import CostOptimalSynthesizer, build_cost_database  # repro: allow[engine-layering] ablation benchmark times the concrete synthesizer and its database build directly; the engine adapter would hide the build phase being measured
 from repro.synth.depth import all_layers, build_depth_database
 
 from conftest import print_header

@@ -1,6 +1,7 @@
 """Shared fixtures for the benchmark harness.
 
-Scale knobs (environment variables):
+Scale knobs (environment variables, shared with ``repro bench`` via
+:mod:`repro.perf.env`):
 
 * ``REPRO_BENCH_K``      -- BFS database depth (default 6; the paper used 9).
 * ``REPRO_BENCH_MAX_L``  -- search reach L = k + m (default 11; set 12 to
@@ -8,26 +9,29 @@ Scale knobs (environment variables):
   the 70.7M-entry list A_6, ~0.6 GB and ~a minute of query time).
 * ``REPRO_SAMPLES``      -- random permutations for the Table 3 experiment
   (default 60; the paper used 10,000,000 on a 16-core server).
-
-Databases are cached on disk under ``.bench-cache`` at the repo root, so
-repeated benchmark runs skip the BFS build.
+* ``REPRO_BENCH_CACHE``  -- database cache directory (default:
+  ``.bench-cache`` at the repo root), so CI can restore a persistent
+  cache volume and every bench consumer skips the BFS build.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
 from repro.engines import create_engine
+from repro.perf.env import BenchScale, bench_cache_dir
 from repro.synth.search import MeetInTheMiddleSearch
 
-BENCH_K = int(os.environ.get("REPRO_BENCH_K", "6"))
-BENCH_MAX_L = int(os.environ.get("REPRO_BENCH_MAX_L", "11"))
-BENCH_SAMPLES = int(os.environ.get("REPRO_SAMPLES", "60"))
+_SCALE = BenchScale.from_env()
+BENCH_K = _SCALE.k
+BENCH_MAX_L = _SCALE.max_l
+BENCH_SAMPLES = _SCALE.samples
 
-CACHE_DIR = Path(__file__).resolve().parent.parent / ".bench-cache"
+CACHE_DIR = bench_cache_dir(
+    default=Path(__file__).resolve().parent.parent / ".bench-cache"
+)
 
 
 @pytest.fixture(scope="session")
@@ -37,7 +41,7 @@ def bench_synthesizer():
         "optimal",
         n_wires=4,
         k=BENCH_K,
-        max_list_size=min(BENCH_MAX_L - BENCH_K, BENCH_K),
+        max_list_size=_SCALE.max_list_size,
         cache_dir=CACHE_DIR,
         verbose=True,
     )

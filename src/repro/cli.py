@@ -11,6 +11,8 @@ Subcommands:
 * ``linear``          -- Table 5: all 4-bit linear reversible functions.
 * ``random N``        -- size distribution of N random permutations.
 * ``benchmarks``      -- synthesize the Table 6 benchmark suite.
+* ``bench``           -- run a pinned perf suite / diff BENCH_*.json records.
+* ``trace``           -- one-shot synthesis with span tracing enabled.
 * ``check``           -- run the domain-aware static-analysis rules.
 * ``info``            -- library and database information.
 
@@ -189,7 +191,14 @@ def cmd_serve(args) -> int:
         result_cache_path=args.result_cache,
         db_cache_dir=False if args.no_cache else None,
         verbose=not args.stdio,
-        extra={"resilience": resilience} if resilience else {},
+        extra={
+            key: value
+            for key, value in (
+                ("resilience", resilience),
+                ("trace", args.trace),
+            )
+            if value
+        },
     )
     service = SynthesisService.from_config(config)
     if args.stdio:
@@ -336,6 +345,97 @@ def cmd_benchmarks(args) -> int:
             f"{elapsed:>8.3f}s"
         )
     return 0
+
+
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.perf.bench import run_suite
+    from repro.perf.compare import compare_records
+    from repro.perf.env import bench_cache_dir
+    from repro.perf.schema import BenchRecord, bench_filename
+    from repro.perf.suites import suite_ops
+
+    if args.list:
+        for op in suite_ops(args.suite):
+            print(op.name)
+        return 0
+
+    if args.input:
+        record = BenchRecord.load(args.input)
+    else:
+        cache = None if args.no_cache else bench_cache_dir()
+        record = run_suite(
+            args.suite,
+            cache_dir=cache,
+            select=args.op or None,
+            progress=lambda line: print(line, flush=True),
+        )
+        if args.output:
+            target = Path(args.output)
+            if target.is_dir():
+                target = target / bench_filename(record.created_unix)
+        else:
+            target = Path.cwd() / bench_filename(record.created_unix)
+        record.dump(target)
+        print(f"wrote {target}")
+
+    if not args.compare:
+        return 0
+    baseline = BenchRecord.load(args.compare)
+    report = compare_records(
+        record,
+        baseline,
+        tolerance_pct=args.tolerance,
+        normalize=False if args.raw else None,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    import repro.perf as perf
+    from repro.engines import SynthesisRequest, create_engine
+
+    engine = create_engine(
+        args.engine,
+        n_wires=args.wires,
+        k=args.k,
+        max_list_size=args.lists,
+        cache_dir=False if args.no_cache else None,
+    ).prepare()
+    tracer = perf.enable(max_roots=args.max_roots)
+    tracer.reset()
+    request = SynthesisRequest(spec=args.spec, n_wires=args.wires)
+    try:
+        result = engine.synthesize(request)
+    except SizeLimitExceededError as exc:
+        result = None
+        lower_bound = exc.lower_bound
+    finally:
+        perf.disable()
+    if args.json:
+        body = {
+            "spec": args.spec,
+            "engine": args.engine,
+            "size": result.size if result is not None else None,
+            "spans": perf.spans_to_dicts(tracer.roots()),
+            "aggregate": tracer.aggregate(),
+        }
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0 if result is not None else 1
+    if result is not None:
+        print(f"{result.spec} -> {result.size} gates ({result.engine})")
+    else:
+        print(f"{args.spec} -> size out of reach (lower bound {lower_bound})")
+    print()
+    for root in tracer.roots():
+        print(perf.render_tree(root))
+    print()
+    print(perf.render_aggregate(tracer.aggregate()))
+    return 0 if result is not None else 1
 
 
 def cmd_peephole(args) -> int:
@@ -538,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds the breaker stays open before probing (default 30)",
     )
+    p_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing; per-span histograms appear in stats",
+    )
     _add_synth_options(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -612,6 +717,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("benchmarks", help="Table 6 benchmark suite")
     _add_synth_options(p_bench)
     p_bench.set_defaults(func=cmd_benchmarks)
+
+    p_perf = sub.add_parser(
+        "bench",
+        help="run a pinned perf suite, write BENCH_*.json, diff baselines",
+    )
+    p_perf.add_argument(
+        "--suite", choices=("quick", "full"), default="quick",
+        help="which pinned suite to run (default: quick)",
+    )
+    p_perf.add_argument(
+        "--output", "-o", default=None,
+        help="output file or directory (default: ./BENCH_<timestamp>.json)",
+    )
+    p_perf.add_argument(
+        "--input", default=None,
+        help="compare an existing BENCH_*.json instead of running the suite",
+    )
+    p_perf.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="diff against this baseline record; exit 1 on regression",
+    )
+    p_perf.add_argument(
+        "--tolerance", type=float, default=25.0,
+        help="regression threshold in percent (default 25)",
+    )
+    p_perf.add_argument(
+        "--raw", action="store_true",
+        help="compare raw medians (skip calibration normalization)",
+    )
+    p_perf.add_argument(
+        "--op", action="append", metavar="NAME",
+        help="run only this op (repeatable; calibration always runs)",
+    )
+    p_perf.add_argument(
+        "--list", action="store_true", help="list the suite's ops and exit"
+    )
+    p_perf.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read/write the benchmark database cache",
+    )
+    p_perf.set_defaults(func=cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="synthesize once with span tracing and show the trees"
+    )
+    p_trace.add_argument("spec", help='spec string, e.g. "[0,2,1,3,...]"')
+    p_trace.add_argument(
+        "--engine",
+        default="optimal",
+        choices=engine_names(),
+        help="synthesis engine (default: optimal)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true", help="emit span trees as JSON"
+    )
+    p_trace.add_argument(
+        "--max-roots", type=int, default=64,
+        help="most recent root spans to keep (default 64)",
+    )
+    _add_synth_options(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_peep = sub.add_parser(
         "peephole", help="optimize a .real circuit via optimal resynthesis"

@@ -22,6 +22,7 @@ from repro.core.combinatorics import (
     arrangements_in_plain_changes_order,
     plain_changes,
 )
+from repro.perf.trace import trace
 
 
 def conjugates(word: int, n_wires: int) -> list[int]:
@@ -68,21 +69,22 @@ def equivalence_class(word: int, n_wires: int) -> set[int]:
 
 def canonical(word: int, n_wires: int) -> int:
     """Canonical (numerically smallest) representative of the class."""
-    best = word
-    cur = word
-    schedule = plain_changes(n_wires)
-    for pair in schedule:
-        cur = packed.conjugate_adjacent(cur, pair, n_wires)
+    with trace("equivalence.canonical"):
+        best = word
+        cur = word
+        schedule = plain_changes(n_wires)
+        for pair in schedule:
+            cur = packed.conjugate_adjacent(cur, pair, n_wires)
+            if cur < best:
+                best = cur
+        cur = packed.inverse(word, n_wires)
         if cur < best:
             best = cur
-    cur = packed.inverse(word, n_wires)
-    if cur < best:
-        best = cur
-    for pair in schedule:
-        cur = packed.conjugate_adjacent(cur, pair, n_wires)
-        if cur < best:
-            best = cur
-    return best
+        for pair in schedule:
+            cur = packed.conjugate_adjacent(cur, pair, n_wires)
+            if cur < best:
+                best = cur
+        return best
 
 
 def is_canonical(word: int, n_wires: int) -> bool:

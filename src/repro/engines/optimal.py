@@ -20,6 +20,7 @@ from repro.engines.api import (
     SynthesisRequest,
     SynthesisResult,
 )
+from repro.perf.trace import trace
 from repro.synth.synthesizer import OptimalSynthesizer, SynthesisHandle
 
 
@@ -79,7 +80,8 @@ class OptimalEngine(Engine):
     def synthesize(self, request: SynthesisRequest) -> SynthesisResult:
         perm = request.permutation(self.impl.n_wires)
         started = time.perf_counter()
-        outcome = self.impl.search(perm)
+        with trace("engine.synthesize", engine=self.name):
+            outcome = self.impl.search(perm)
         seconds = time.perf_counter() - started
         return SynthesisResult.from_circuit(
             self.name,

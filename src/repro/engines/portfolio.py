@@ -33,6 +33,7 @@ from repro.engines.api import (
 from repro.engines.baselines import HeuristicEngine
 from repro.engines.optimal import OptimalEngine
 from repro.errors import SizeLimitExceededError, UnsatisfiableError
+from repro.perf.trace import trace
 from repro.sat.synth import sat_synthesize_fixed_size
 
 
@@ -77,13 +78,15 @@ class PortfolioEngine(Engine):
     def synthesize(self, request: SynthesisRequest) -> SynthesisResult:
         perm = request.permutation(self.optimal.impl.n_wires)
         started = time.perf_counter()
-        upper = self.heuristic.synthesize(
-            SynthesisRequest(spec=perm, n_wires=perm.n_wires)
-        )
-        try:
-            exact = self.optimal.synthesize(
+        with trace("portfolio.tier", tier="heuristic"):
+            upper = self.heuristic.synthesize(
                 SynthesisRequest(spec=perm, n_wires=perm.n_wires)
             )
+        try:
+            with trace("portfolio.tier", tier="optimal"):
+                exact = self.optimal.synthesize(
+                    SynthesisRequest(spec=perm, n_wires=perm.n_wires)
+                )
         except SizeLimitExceededError as exc:
             return self._close_gap(perm, upper, exc.lower_bound, started)
         return self._finish(
@@ -124,9 +127,10 @@ class PortfolioEngine(Engine):
         inconclusive = False
         for n_gates in range(lower_bound, upper.size):
             try:
-                circuit = sat_synthesize_fixed_size(
-                    perm, n_gates, conflict_budget=self.conflict_budget
-                )
+                with trace("portfolio.tier", tier="sat", n_gates=n_gates):
+                    circuit = sat_synthesize_fixed_size(
+                        perm, n_gates, conflict_budget=self.conflict_budget
+                    )
             except UnsatisfiableError:
                 # Exact UNSAT with no budget; possibly budget exhaustion
                 # otherwise (which weakens the all-UNSAT proof below).

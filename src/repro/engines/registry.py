@@ -20,6 +20,7 @@ from typing import Any, Callable
 
 from repro.engines.api import Engine, EngineCapabilities
 from repro.errors import SynthesisError
+from repro.perf.trace import trace
 
 
 @dataclass(frozen=True)
@@ -75,14 +76,15 @@ def create_engine(name: str, **options: Any) -> Engine:
     ``max_list_size``, ``cache_dir``, ``verbose``, ...) to every engine.
     Heavy state (databases, lists) is built lazily or via ``prepare()``.
     """
-    factory = _factory(name)
-    parameters = inspect.signature(factory).parameters
-    accepts_any = any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
-    )
-    if not accepts_any:
-        options = {k: v for k, v in options.items() if k in parameters}
-    return factory(**options)
+    with trace("engine.create", engine=name):
+        factory = _factory(name)
+        parameters = inspect.signature(factory).parameters
+        accepts_any = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        if not accepts_any:
+            options = {k: v for k, v in options.items() if k in parameters}
+        return factory(**options)
 
 
 def engine_capabilities(name: str) -> EngineCapabilities:

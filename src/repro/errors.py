@@ -95,3 +95,10 @@ class WorkerPoolError(ServiceError):
 class UnsatisfiableError(ReproError):
     """Raised by the SAT subsystem when a formula is proven unsatisfiable
     and the caller asked for a model."""
+
+
+class BenchDataError(ReproError):
+    """Raised when a ``BENCH_*.json`` benchmark record is malformed:
+    wrong schema tag, missing fields, or statistics of the wrong
+    type/sign.  The perf regression gate treats a malformed record as a
+    hard failure rather than silently passing."""

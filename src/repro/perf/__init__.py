@@ -1,0 +1,45 @@
+"""Performance telemetry: span tracing and the benchmark harness.
+
+Two halves, deliberately decoupled:
+
+* :mod:`repro.perf.trace` -- a lightweight span tracer wired into the
+  synthesis hot paths.  Off by default (a disabled ``trace()`` call is
+  a global read and a ``None`` test); ``repro trace`` and the service
+  daemon's ``--trace`` flag turn it on.
+* :mod:`repro.perf.bench` / :mod:`repro.perf.compare` -- the ``repro
+  bench`` harness: pinned suites over the paper's hot operations,
+  schema-versioned ``BENCH_*.json`` records, and the baseline diff
+  that gates CI (``--compare --tolerance``).
+
+This package is imported by ``repro.core`` and ``repro.synth`` (for
+``trace``), so the tracer half must stay standard-library-only; the
+bench half may import the rest of the library freely.  Only the trace
+API is re-exported here -- hot paths import ``repro.perf.trace``
+directly, and bench consumers import the submodules they need.
+"""
+
+from repro.perf.trace import (
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    render_aggregate,
+    render_tree,
+    spans_to_dicts,
+    trace,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_tracer",
+    "is_enabled",
+    "render_aggregate",
+    "render_tree",
+    "spans_to_dicts",
+    "trace",
+]

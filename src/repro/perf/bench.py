@@ -1,0 +1,142 @@
+"""The ``repro bench`` runner: time a suite, emit a BenchRecord.
+
+Sampling strategy per op:
+
+* one untimed warmup call (JIT-free Python, but it faults caches in);
+* estimate the per-call cost from the warmup, then pick an inner
+  repetition count so each timing sample lasts >= ~5 ms (sub-clock
+  resolution ops are batched; anything slower runs once per sample);
+* collect samples until both ``min_samples`` and the op's time budget
+  are met, capped at ``max_samples``.
+
+Ops marked ``once`` (whole database builds) skip inner batching and
+collect exactly ``min_samples`` samples.  Statistics are computed over
+per-call seconds (sample / inner iterations): median, p90 (nearest-rank
+on the sorted samples), min, mean.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import BenchDataError
+from repro.perf.env import BenchScale
+from repro.perf.schema import BenchRecord, OpStats, host_fingerprint
+from repro.perf.suites import BenchContext, BenchOp, suite_ops, suite_scale
+
+__all__ = ["run_op", "run_suite"]
+
+#: Minimum duration of one timing sample; ops cheaper than this are
+#: batched into inner iterations so the clock resolution is negligible.
+_MIN_SAMPLE_S = 0.005
+
+
+def _percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted per-call timings."""
+    index = round(q * (len(sorted_samples) - 1))
+    return sorted_samples[index]
+
+
+def run_op(op: BenchOp, ctx: BenchContext) -> OpStats:
+    """Time one op and return its per-call statistics."""
+    thunk = op.setup(ctx)
+
+    # Warmup + cost estimate.
+    started = time.perf_counter()
+    thunk()
+    estimate = time.perf_counter() - started
+
+    if op.once:
+        inner = 1
+        max_samples = op.min_samples
+        budget = 0.0
+    else:
+        inner = max(1, math.ceil(_MIN_SAMPLE_S / max(estimate, 1e-9)))
+        max_samples = op.max_samples
+        budget = op.target_time
+
+    samples: list[float] = []
+    elapsed = 0.0
+    while len(samples) < max_samples and (
+        len(samples) < op.min_samples or elapsed < budget
+    ):
+        started = time.perf_counter()
+        if inner == 1:
+            thunk()
+        else:
+            for _ in range(inner):
+                thunk()
+        sample = time.perf_counter() - started
+        elapsed += sample
+        samples.append(sample / inner)
+
+    samples.sort()
+    return OpStats(
+        median_s=_percentile(samples, 0.5),
+        p90_s=_percentile(samples, 0.9),
+        min_s=samples[0],
+        mean_s=sum(samples) / len(samples),
+        samples=len(samples),
+        inner_iterations=inner,
+    )
+
+
+def run_suite(
+    name: str,
+    *,
+    scale_env: "BenchScale | None" = None,
+    cache_dir: "Path | None" = None,
+    select: "Sequence[str] | None" = None,
+    progress: "Callable[[str], None] | None" = None,
+) -> BenchRecord:
+    """Run a named suite and return the (unwritten) BenchRecord.
+
+    ``select`` restricts the run to the named ops (the calibration op
+    is always included so the record stays comparable); unknown names
+    in ``select`` raise :class:`BenchDataError` rather than silently
+    benchmarking nothing.
+    """
+    ops = suite_ops(name)
+    scale = suite_scale(name, scale_env)
+    if select is not None:
+        known = {op.name for op in ops}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            raise BenchDataError(
+                f"unknown op(s) for suite {name!r}: {', '.join(unknown)}"
+            )
+        wanted = set(select)
+        ops = tuple(
+            op for op in ops
+            if op.name in wanted or op.name == "calibration.spin"
+        )
+
+    ctx = BenchContext(scale, cache_dir)
+    stats: dict[str, OpStats] = {}
+    try:
+        for op in ops:
+            if progress is not None:
+                progress(f"bench: {op.name} ...")
+            result = run_op(op, ctx)
+            stats[op.name] = result
+            if progress is not None:
+                progress(
+                    f"bench: {op.name}  median "
+                    f"{result.median_s * 1e3:.3f} ms  "
+                    f"({result.samples} x {result.inner_iterations})"
+                )
+    finally:
+        ctx.close()
+
+    calibration = "calibration.spin" if "calibration.spin" in stats else None
+    return BenchRecord(
+        suite=name,
+        scale=scale,
+        host=host_fingerprint(),
+        ops=stats,
+        created_unix=time.time(),
+        calibration_op=calibration,
+    )

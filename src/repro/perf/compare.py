@@ -1,0 +1,236 @@
+"""Baseline comparison for ``repro bench --compare`` (the CI perf gate).
+
+The gate diffs a current :class:`~repro.perf.schema.BenchRecord`
+against a committed baseline and fails on any op whose median slowed
+by more than the tolerance.
+
+Cross-host normalization: CI runners are not the machine the baseline
+was recorded on, so absolute medians are incomparable.  When both
+records carry the calibration op (a fixed pure-Python loop), the
+comparison is *normalized*: every ratio is divided by the hosts'
+calibration ratio, cancelling raw single-core speed differences.  What
+remains -- and what the gate judges -- is each op's cost *relative to
+plain Python on the same host*.
+
+Status per op:
+
+* ``ok`` / ``regression`` / ``improved`` -- judged against tolerance;
+* ``new``     -- op only in the current record (never fails: suites
+  grow without invalidating old baselines);
+* ``missing`` -- op only in the baseline (warned, not failed: an op
+  retired from the suite should come with a baseline refresh, but must
+  not permanently wedge CI).
+
+A scale mismatch (different k / L / sample knobs) fails outright: the
+numbers measure different workloads and a green diff would be noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.schema import BenchRecord, OpStats
+
+__all__ = ["CompareReport", "OpComparison", "compare_records"]
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVED = "improved"
+STATUS_NEW = "new"
+STATUS_MISSING = "missing"
+
+
+@dataclass(frozen=True)
+class OpComparison:
+    """One op's verdict: medians, raw ratio, and the gated ratio."""
+
+    op: str
+    status: str
+    baseline_median: "float | None" = None
+    current_median: "float | None" = None
+    ratio: "float | None" = None
+    gated_ratio: "float | None" = None
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """The full diff; ``ok`` is the gate's verdict."""
+
+    tolerance_pct: float
+    normalized: bool
+    comparisons: list[OpComparison] = field(default_factory=list)
+    scale_mismatch: "str | None" = None
+
+    @property
+    def regressions(self) -> list[OpComparison]:
+        return [c for c in self.comparisons if c.status == STATUS_REGRESSION]
+
+    @property
+    def ok(self) -> bool:
+        return self.scale_mismatch is None and not self.regressions
+
+    def render(self) -> str:
+        lines: list[str] = []
+        if self.scale_mismatch is not None:
+            lines.append(f"FAIL scale mismatch: {self.scale_mismatch}")
+            return "\n".join(lines)
+        mode = "normalized" if self.normalized else "raw"
+        lines.append(
+            f"perf gate: tolerance {self.tolerance_pct:g}% ({mode} ratios)"
+        )
+        width = max((len(c.op) for c in self.comparisons), default=4)
+        for comp in self.comparisons:
+            if comp.status == STATUS_NEW:
+                lines.append(f"  NEW   {comp.op:<{width}}  (no baseline)")
+                continue
+            if comp.status == STATUS_MISSING:
+                lines.append(
+                    f"  GONE  {comp.op:<{width}}  (baseline only; refresh "
+                    "benchmarks/BENCH_baseline.json)"
+                )
+                continue
+            tag = {
+                STATUS_OK: "ok  ",
+                STATUS_IMPROVED: "FAST",
+                STATUS_REGRESSION: "SLOW",
+            }[comp.status]
+            assert comp.gated_ratio is not None
+            assert comp.baseline_median is not None
+            assert comp.current_median is not None
+            lines.append(
+                f"  {tag}  {comp.op:<{width}}  "
+                f"{_ms(comp.baseline_median)} -> {_ms(comp.current_median)}"
+                f"  x{comp.gated_ratio:.3f}"
+            )
+        verdict = "PASS" if self.ok else (
+            f"FAIL: {len(self.regressions)} op(s) regressed beyond "
+            f"{self.tolerance_pct:g}%"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _calibration_median(record: BenchRecord) -> "float | None":
+    if record.calibration_op is None:
+        return None
+    stats: "OpStats | None" = record.ops.get(record.calibration_op)
+    if stats is None or stats.median_s <= 0:
+        return None
+    return stats.median_s
+
+
+def compare_records(
+    current: BenchRecord,
+    baseline: BenchRecord,
+    *,
+    tolerance_pct: float = 25.0,
+    normalize: "bool | None" = None,
+) -> CompareReport:
+    """Diff ``current`` against ``baseline``.
+
+    ``normalize=None`` (the default) normalizes by the calibration op
+    whenever both records carry it; ``True`` requires it (mismatch
+    reported as a scale mismatch); ``False`` compares raw medians.
+    """
+    mismatched = sorted(
+        key
+        for key in set(current.scale) | set(baseline.scale)
+        if current.scale.get(key) != baseline.scale.get(key)
+    )
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: baseline={baseline.scale.get(key)!r} "
+            f"current={current.scale.get(key)!r}"
+            for key in mismatched
+        )
+        return CompareReport(
+            tolerance_pct=tolerance_pct,
+            normalized=False,
+            scale_mismatch=detail,
+        )
+
+    cur_calib = _calibration_median(current)
+    base_calib = _calibration_median(baseline)
+    can_normalize = cur_calib is not None and base_calib is not None
+    if normalize is True and not can_normalize:
+        return CompareReport(
+            tolerance_pct=tolerance_pct,
+            normalized=False,
+            scale_mismatch=(
+                "normalization requested but a record lacks calibration "
+                "statistics"
+            ),
+        )
+    normalized = can_normalize if normalize is None else normalize
+    # Dividing a current median by `factor` converts it to baseline-host
+    # units: factor = cur_calib / base_calib.
+    factor = (
+        cur_calib / base_calib
+        if normalized and cur_calib is not None and base_calib is not None
+        else 1.0
+    )
+
+    threshold = 1.0 + tolerance_pct / 100.0
+    skip_gate = {
+        name
+        for name in (current.calibration_op, baseline.calibration_op)
+        if name is not None
+    }
+
+    comparisons: list[OpComparison] = []
+    for name in sorted(set(current.ops) | set(baseline.ops)):
+        cur = current.ops.get(name)
+        base = baseline.ops.get(name)
+        if base is None:
+            assert cur is not None
+            comparisons.append(
+                OpComparison(
+                    op=name, status=STATUS_NEW, current_median=cur.median_s
+                )
+            )
+            continue
+        if cur is None:
+            comparisons.append(
+                OpComparison(
+                    op=name,
+                    status=STATUS_MISSING,
+                    baseline_median=base.median_s,
+                )
+            )
+            continue
+        ratio = (
+            cur.median_s / base.median_s if base.median_s > 0 else float("inf")
+        )
+        gated_ratio = ratio / factor
+        if name in skip_gate:
+            status = STATUS_OK
+        elif gated_ratio > threshold:
+            status = STATUS_REGRESSION
+        elif gated_ratio < 1.0 / threshold:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+        comparisons.append(
+            OpComparison(
+                op=name,
+                status=status,
+                baseline_median=base.median_s,
+                current_median=cur.median_s,
+                ratio=ratio,
+                gated_ratio=gated_ratio,
+            )
+        )
+
+    return CompareReport(
+        tolerance_pct=tolerance_pct,
+        normalized=normalized,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,83 @@
+"""Shared environment knobs for the benchmark harness.
+
+Both the pytest benchmark suite (``benchmarks/conftest.py``) and the
+``repro bench`` harness read the same scale knobs and share the same
+on-disk database cache, so a CI job that restores ``.bench-cache`` (or
+points ``REPRO_BENCH_CACHE`` somewhere persistent) warms every consumer
+at once:
+
+* ``REPRO_BENCH_K``      -- BFS database depth (default 6).
+* ``REPRO_BENCH_MAX_L``  -- search reach L = k + m (default 11).
+* ``REPRO_SAMPLES``      -- random permutations for the Table 3 style
+  experiments (default 60).
+* ``REPRO_BENCH_CACHE``  -- database cache directory (default: a
+  ``.bench-cache`` directory supplied by the caller, falling back to
+  the current working directory).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["BenchScale", "bench_cache_dir"]
+
+
+def _int_env(env: Mapping[str, str], name: str, default: int) -> int:
+    raw = env.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """The benchmark scale knobs, resolved from the environment.
+
+    ``max_list_size`` derives m from L = k + m, clamped to the database
+    depth (lists deeper than k cannot be materialized).
+    """
+
+    k: int = 6
+    max_l: int = 11
+    samples: int = 60
+
+    @property
+    def max_list_size(self) -> int:
+        return max(0, min(self.max_l - self.k, self.k))
+
+    @classmethod
+    def from_env(cls, env: "Mapping[str, str] | None" = None) -> "BenchScale":
+        source: Mapping[str, str] = os.environ if env is None else env
+        return cls(
+            k=_int_env(source, "REPRO_BENCH_K", 6),
+            max_l=_int_env(source, "REPRO_BENCH_MAX_L", 11),
+            samples=_int_env(source, "REPRO_SAMPLES", 60),
+        )
+
+
+def bench_cache_dir(
+    default: "Path | str | None" = None,
+    env: "Mapping[str, str] | None" = None,
+) -> Path:
+    """The benchmark database cache directory.
+
+    ``REPRO_BENCH_CACHE`` wins when set (CI points it at a restored
+    cache volume); otherwise ``default`` (callers anchored to a repo
+    checkout pass their own); otherwise ``.bench-cache`` under the
+    current working directory.
+    """
+    source: Mapping[str, str] = os.environ if env is None else env
+    raw = source.get("REPRO_BENCH_CACHE")
+    if raw is not None and raw.strip():
+        return Path(raw).expanduser()
+    if default is not None:
+        return Path(default)
+    return Path.cwd() / ".bench-cache"

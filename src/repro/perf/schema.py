@@ -1,0 +1,247 @@
+"""Schema-versioned benchmark records (the ``BENCH_*.json`` format).
+
+One :class:`BenchRecord` is one run of a bench suite: per-op wall-time
+statistics, the scale knobs the suite ran at, and a host fingerprint.
+Records are written as ``BENCH_<utc-timestamp>.json`` files -- the
+repository's append-only perf trajectory -- and one of them is
+committed as ``benchmarks/BENCH_baseline.json``, the baseline the CI
+regression gate compares against (see :mod:`repro.perf.compare` and
+``docs/BENCHMARKS.md``).
+
+The format is deliberately strict: ``BenchRecord.from_dict`` validates
+the schema tag, every required field, and every statistic's type and
+sign, raising :class:`repro.errors.BenchDataError` on anything off.  A
+perf gate that silently accepts a half-written record gates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import BenchDataError
+
+__all__ = [
+    "SCHEMA",
+    "BenchRecord",
+    "OpStats",
+    "bench_filename",
+    "host_fingerprint",
+]
+
+#: Schema tag; bump the suffix on breaking format changes.
+SCHEMA = "repro-bench/1"
+
+#: The op whose median is used to normalize cross-host comparisons.
+CALIBRATION_OP = "calibration.spin"
+
+_STAT_FIELDS = ("median_s", "p90_s", "min_s", "mean_s")
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Wall-time statistics for one benchmark op.
+
+    ``samples`` per-op timing samples were collected; each sample timed
+    ``inner_iterations`` back-to-back calls (sub-millisecond ops are
+    batched so a sample is long enough to measure).  All ``*_s`` values
+    are per-call seconds.
+    """
+
+    median_s: float
+    p90_s: float
+    min_s: float
+    mean_s: float
+    samples: int
+    inner_iterations: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "median_s": self.median_s,
+            "p90_s": self.p90_s,
+            "min_s": self.min_s,
+            "mean_s": self.mean_s,
+            "samples": self.samples,
+            "inner_iterations": self.inner_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Any) -> "OpStats":
+        if not isinstance(data, Mapping):
+            raise BenchDataError(f"op {name!r}: stats must be an object")
+        for key in _STAT_FIELDS:
+            value = data.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise BenchDataError(
+                    f"op {name!r}: {key} must be a number, got {value!r}"
+                )
+            if value < 0:
+                raise BenchDataError(
+                    f"op {name!r}: {key} must be non-negative, got {value!r}"
+                )
+        for key in ("samples", "inner_iterations"):
+            value = data.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise BenchDataError(
+                    f"op {name!r}: {key} must be a positive integer, "
+                    f"got {value!r}"
+                )
+        return cls(
+            median_s=float(data["median_s"]),
+            p90_s=float(data["p90_s"]),
+            min_s=float(data["min_s"]),
+            mean_s=float(data["mean_s"]),
+            samples=int(data["samples"]),
+            inner_iterations=int(data["inner_iterations"]),
+        )
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark run: suite, scale, host, per-op statistics."""
+
+    suite: str
+    scale: dict[str, int]
+    host: dict[str, Any]
+    ops: dict[str, OpStats]
+    created_unix: float
+    calibration_op: "str | None" = CALIBRATION_OP
+    schema: str = SCHEMA
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "schema": self.schema,
+            "suite": self.suite,
+            "created_unix": self.created_unix,
+            "created_iso": _iso(self.created_unix),
+            "scale": dict(self.scale),
+            "host": dict(self.host),
+            "calibration_op": self.calibration_op,
+            "ops": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.ops.items())
+            },
+        }
+        if self.extra:
+            body["extra"] = dict(self.extra)
+        return body
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def dump(self, path: "Path | str") -> Path:
+        target = Path(path)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+    # Deserialization + validation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Any) -> "BenchRecord":
+        if not isinstance(data, Mapping):
+            raise BenchDataError("bench record must be a JSON object")
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise BenchDataError(
+                f"unsupported bench schema {schema!r} (expected {SCHEMA!r})"
+            )
+        suite = data.get("suite")
+        if not isinstance(suite, str) or not suite:
+            raise BenchDataError(f"suite must be a non-empty string, got {suite!r}")
+        created = data.get("created_unix")
+        if not isinstance(created, (int, float)) or isinstance(created, bool) \
+                or created < 0:
+            raise BenchDataError(
+                f"created_unix must be a non-negative number, got {created!r}"
+            )
+        scale_raw = data.get("scale")
+        if not isinstance(scale_raw, Mapping):
+            raise BenchDataError("scale must be an object of integer knobs")
+        scale: dict[str, int] = {}
+        for key, value in scale_raw.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise BenchDataError(
+                    f"scale knob {key!r} must be an integer, got {value!r}"
+                )
+            scale[str(key)] = value
+        host = data.get("host")
+        if not isinstance(host, Mapping):
+            raise BenchDataError("host must be an object")
+        ops_raw = data.get("ops")
+        if not isinstance(ops_raw, Mapping) or not ops_raw:
+            raise BenchDataError("ops must be a non-empty object")
+        ops = {
+            str(name): OpStats.from_dict(str(name), stats)
+            for name, stats in ops_raw.items()
+        }
+        calibration = data.get("calibration_op")
+        if calibration is not None and not isinstance(calibration, str):
+            raise BenchDataError(
+                f"calibration_op must be a string or null, got {calibration!r}"
+            )
+        if isinstance(calibration, str) and calibration not in ops:
+            calibration = None
+        extra = data.get("extra")
+        return cls(
+            suite=suite,
+            scale=scale,
+            host={str(k): v for k, v in host.items()},
+            ops=ops,
+            created_unix=float(created),
+            calibration_op=calibration,
+            schema=str(schema),
+            extra=dict(extra) if isinstance(extra, Mapping) else {},
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchRecord":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BenchDataError(f"bench record is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "BenchRecord":
+        source = Path(path)
+        try:
+            text = source.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise BenchDataError(f"cannot read bench record {source}: {exc}") from exc
+        return cls.from_json(text)
+
+
+def _iso(created_unix: float) -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(created_unix))
+
+
+def bench_filename(created_unix: float) -> str:
+    """``BENCH_<compact-utc-timestamp>.json`` for a run timestamp."""
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(created_unix))
+    return f"BENCH_{stamp}.json"
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Enough host identity to interpret absolute timings later."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": str(numpy.__version__),
+        "cpu_count": os.cpu_count() or 1,
+    }

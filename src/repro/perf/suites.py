@@ -1,0 +1,401 @@
+"""Pinned benchmark suites for ``repro bench``.
+
+Two tiers:
+
+* ``quick`` -- the CI gate: the paper's Section 3.3 micro-ops (scalar
+  and vectorized), hash-table probing, a small BFS build, and one
+  query per search path (database hit / list scan / exhausted scan).
+  A few seconds end to end at ``REPRO_BENCH_K=5``.
+* ``full``  -- everything in quick plus the n=4 database build at the
+  configured depth, a Table-3-style random batch, and a service-layer
+  cached batch.  Minutes, for local before/after measurements.
+
+Every suite starts with ``calibration.spin``, a fixed pure-Python loop
+whose median calibrates the host's single-core speed; the comparer
+normalizes op timings by it so a committed baseline from one machine
+can gate CI runs on another (see :mod:`repro.perf.compare`).
+
+Ops are *pinned*: same name, same workload, same seeds across runs --
+renaming or reworking an op invalidates baselines and must come with a
+baseline refresh (``docs/BENCHMARKS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import BenchDataError
+from repro.perf.env import BenchScale
+
+__all__ = ["BenchContext", "BenchOp", "suite_names", "suite_ops", "suite_scale"]
+
+#: Vector length for the vectorized micro-ops (matches bench_micro_ops).
+N_VECTOR = 1 << 16
+
+
+@dataclass(frozen=True)
+class BenchOp:
+    """One benchmark op: a setup returning the timed thunk.
+
+    ``once`` marks heavy ops (whole builds): they are never batched
+    into inner iterations and collect only ``min_samples`` samples.
+    """
+
+    name: str
+    setup: Callable[["BenchContext"], Callable[[], Any]]
+    target_time: float = 0.3
+    min_samples: int = 5
+    max_samples: int = 50
+    once: bool = False
+
+
+class BenchContext:
+    """Shared lazy resources for a suite run (engine, service, rng)."""
+
+    def __init__(self, scale: dict[str, int], cache_dir: "Path | None") -> None:
+        self.scale = scale
+        self.cache_dir = cache_dir
+        self._engine: Any = None
+        self._service: Any = None
+
+    # ------------------------------------------------------------------
+    # Lazy resources
+    # ------------------------------------------------------------------
+    def optimal_engine(self) -> Any:
+        """A prepared optimal engine at the suite's (k, m) scale."""
+        if self._engine is None:
+            from repro.engines import create_engine
+
+            self._engine = create_engine(
+                "optimal",
+                n_wires=4,
+                k=self.scale["k"],
+                max_list_size=self.scale["max_list_size"],
+                cache_dir=self.cache_dir if self.cache_dir else False,
+            ).prepare()
+        return self._engine
+
+    def service(self) -> Any:
+        """A started in-process synthesis service over the warm engine."""
+        if self._service is None:
+            from repro.service import ServiceConfig, SynthesisService
+
+            handle = self.optimal_engine().handle()
+            self._service = SynthesisService(
+                handle,
+                config=ServiceConfig(
+                    n_wires=handle.n_wires,
+                    k=handle.k,
+                    max_list_size=handle.max_list_size,
+                    batch_window=0.0,
+                ),
+            )
+            self._service.start()
+        return self._service
+
+    def close(self) -> None:
+        if self._service is not None:
+            self._service.shutdown(save_cache=False)
+            self._service = None
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # Deterministic workload words
+    # ------------------------------------------------------------------
+    def easy_word(self) -> int:
+        """A word of size exactly k: the deepest database fast path."""
+        db = self.optimal_engine().impl.database
+        reps = db.reps_by_size[self.scale["k"]]
+        if reps.shape[0] == 0:
+            raise BenchDataError(
+                f"no representatives of size {self.scale['k']} "
+                "(database shallower than the suite scale)"
+            )
+        return int(reps[0])
+
+    def hard_word(self) -> int:
+        """A word of size in (k, k+m]: forces an A_i list scan.
+
+        Built deterministically by composing a size-k representative
+        with a size-m representative until the product leaves the
+        database; its optimal size is then > k but <= k + m, so the
+        scan must succeed.
+        """
+        from repro.core import packed
+
+        synth = self.optimal_engine().impl
+        db = synth.database
+        k = self.scale["k"]
+        m = self.scale["max_list_size"]
+        if m < 1:
+            raise BenchDataError("hard-word op needs max_list_size >= 1")
+        for a in db.reps_by_size[k][:64]:
+            for b in db.reps_by_size[m][:64]:
+                word = packed.compose(int(a), int(b), 4)
+                if db.size_of(word) is None:
+                    return word
+        raise BenchDataError(
+            "could not construct a beyond-database word at this scale"
+        )
+
+    def out_of_reach_word(self) -> int:
+        """A word provably beyond L = k + m: the exhausted-scan path."""
+        from repro.rng.sampling import PermutationSampler
+
+        synth = self.optimal_engine().impl
+        sampler = PermutationSampler(4, seed=5489)
+        limit = synth.max_size
+        for _ in range(512):
+            word = sampler.sample_word()
+            if synth.search_engine.prove_lower_bound(word) > limit:
+                return word
+        raise BenchDataError(
+            f"no out-of-reach word found in 512 draws at L={limit} "
+            "(scale too deep for the exhausted-scan op)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Op setups
+# ----------------------------------------------------------------------
+def _setup_spin(_ctx: BenchContext) -> Callable[[], Any]:
+    def spin() -> int:
+        x = 1
+        for _ in range(50_000):
+            x = (x * 1103515245 + 12345) & 0xFFFFFFFF
+        return x
+
+    return spin
+
+
+def _setup_compose_scalar(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.core import packed
+    from repro.rng.sampling import PermutationSampler
+
+    sampler = PermutationSampler(4, seed=2)
+    p, q = sampler.sample_word(), sampler.sample_word()
+    return lambda: packed.compose(p, q, 4)
+
+
+def _setup_inverse_scalar(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.core import packed
+    from repro.rng.sampling import PermutationSampler
+
+    p = PermutationSampler(4, seed=2).sample_word()
+    return lambda: packed.inverse(p, 4)
+
+
+def _setup_canonical_scalar(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.core import equivalence
+    from repro.rng.sampling import PermutationSampler
+
+    p = PermutationSampler(4, seed=2).sample_word()
+    return lambda: equivalence.canonical(p, 4)
+
+
+def _setup_hash_scalar(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.hashing.wang import hash64shift
+    from repro.rng.sampling import PermutationSampler
+
+    p = PermutationSampler(4, seed=2).sample_word()
+    return lambda: hash64shift(p)
+
+
+def _vector_words() -> Any:
+    from repro.rng.sampling import PermutationSampler
+
+    return PermutationSampler(4, seed=1).sample_words(N_VECTOR)
+
+
+def _setup_compose_vectorized(_ctx: BenchContext) -> Callable[[], Any]:
+    import numpy as np
+
+    from repro.core.packed_np import compose_np
+    from repro.rng.sampling import PermutationSampler
+
+    words = _vector_words()
+    q = np.uint64(PermutationSampler(4, seed=2).sample_word())
+    return lambda: compose_np(words, q, 4)
+
+
+def _setup_canonical_vectorized(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.core.packed_np import canonical_np
+
+    words = _vector_words()
+    return lambda: canonical_np(words, 4)
+
+
+def _setup_hash_vectorized(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.hashing.wang import hash64shift_np
+
+    words = _vector_words()
+    return lambda: hash64shift_np(words)
+
+
+def _setup_table_lookup_batch(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.hashing.table import LinearProbingTable
+
+    words = _vector_words()
+    table = LinearProbingTable(capacity_bits=18)
+    table.insert_batch(words[: N_VECTOR // 2], 1)
+    # repro: allow[unrouted-lookup] the op times raw probing over a 50/50 hit/miss mix; canonicalizing the keys would fold the misses away and change what is measured
+    return lambda: table.lookup_batch(words)
+
+
+def _setup_bfs_build_n3(_ctx: BenchContext) -> Callable[[], Any]:
+    from repro.synth.bfs import build_database
+
+    return lambda: build_database(3, 8)
+
+
+def _setup_bfs_build_n4(ctx: BenchContext) -> Callable[[], Any]:
+    from repro.synth.bfs import build_database
+
+    k = ctx.scale["k"]
+    return lambda: build_database(4, k)
+
+
+def _synth_thunk(ctx: BenchContext, word: int) -> Callable[[], Any]:
+    from repro.core.permutation import Permutation
+    from repro.engines import SynthesisRequest
+
+    engine = ctx.optimal_engine()
+    request = SynthesisRequest(spec=Permutation(word, 4), n_wires=4)
+    return lambda: engine.synthesize(request)
+
+
+def _setup_search_db_hit(ctx: BenchContext) -> Callable[[], Any]:
+    return _synth_thunk(ctx, ctx.easy_word())
+
+
+def _setup_search_scan(ctx: BenchContext) -> Callable[[], Any]:
+    return _synth_thunk(ctx, ctx.hard_word())
+
+
+def _setup_search_exhausted(ctx: BenchContext) -> Callable[[], Any]:
+    engine = ctx.optimal_engine().impl.search_engine
+    word = ctx.out_of_reach_word()
+    return lambda: engine.prove_lower_bound(word)
+
+
+def _setup_search_random_batch(ctx: BenchContext) -> Callable[[], Any]:
+    from repro.rng.sampling import PermutationSampler
+
+    synth = ctx.optimal_engine().impl
+    words = [
+        PermutationSampler(4, seed=5489 + i).sample_word()
+        for i in range(ctx.scale["samples"])
+    ]
+
+    def run() -> int:
+        total = 0
+        for word in words:
+            size, _exact = synth.size_or_bound(word)
+            total += size
+        return total
+
+    return run
+
+
+def _setup_service_cached_batch(ctx: BenchContext) -> Callable[[], Any]:
+    import json
+
+    from repro.core.permutation import Permutation
+
+    service = ctx.service()
+    db = ctx.optimal_engine().impl.database
+    reps = db.reps_by_size[min(3, ctx.scale["k"])]
+    lines = [
+        json.dumps({
+            "id": i,
+            "op": "size",
+            "spec": Permutation(int(reps[i % reps.shape[0]]), 4).spec(),
+        })
+        for i in range(32)
+    ]
+
+    def run() -> int:
+        served = 0
+        for line in lines:
+            response = json.loads(service.handle_line(line))
+            if not response.get("ok"):
+                raise BenchDataError(
+                    f"service op failed mid-benchmark: {response}"
+                )
+            served += 1
+        return served
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Suite definitions
+# ----------------------------------------------------------------------
+_QUICK_OPS: tuple[BenchOp, ...] = (
+    BenchOp("calibration.spin", _setup_spin),
+    BenchOp("micro.compose_scalar", _setup_compose_scalar),
+    BenchOp("micro.inverse_scalar", _setup_inverse_scalar),
+    BenchOp("micro.canonical_scalar", _setup_canonical_scalar),
+    BenchOp("micro.hash_scalar", _setup_hash_scalar),
+    BenchOp("micro.compose_vectorized", _setup_compose_vectorized),
+    BenchOp("micro.canonical_vectorized", _setup_canonical_vectorized),
+    BenchOp("micro.hash_vectorized", _setup_hash_vectorized),
+    BenchOp("table.lookup_batch", _setup_table_lookup_batch),
+    BenchOp("bfs.build_n3", _setup_bfs_build_n3, min_samples=3, once=True),
+    BenchOp("search.db_hit", _setup_search_db_hit),
+    BenchOp("search.scan", _setup_search_scan),
+    BenchOp("search.exhausted", _setup_search_exhausted, target_time=0.5),
+)
+
+_FULL_OPS: tuple[BenchOp, ...] = _QUICK_OPS + (
+    BenchOp("bfs.build_n4", _setup_bfs_build_n4, min_samples=3, once=True),
+    BenchOp(
+        "search.random_batch",
+        _setup_search_random_batch,
+        min_samples=3,
+        once=True,
+    ),
+    BenchOp("service.cached_batch", _setup_service_cached_batch),
+)
+
+_SUITES: dict[str, tuple[BenchOp, ...]] = {
+    "quick": _QUICK_OPS,
+    "full": _FULL_OPS,
+}
+
+
+def suite_names() -> list[str]:
+    return sorted(_SUITES)
+
+
+def suite_ops(name: str) -> tuple[BenchOp, ...]:
+    ops = _SUITES.get(name)
+    if ops is None:
+        raise BenchDataError(
+            f"unknown bench suite {name!r}; known: {', '.join(suite_names())}"
+        )
+    return ops
+
+
+def suite_scale(name: str, env: "BenchScale | None" = None) -> dict[str, int]:
+    """The pinned scale knobs a suite runs at.
+
+    The quick suite caps the list depth at 3 so its scan ops stay
+    CI-sized regardless of ``REPRO_BENCH_MAX_L``; the full suite uses
+    the full configured reach.
+    """
+    scale = env if env is not None else BenchScale.from_env()
+    if name == "quick":
+        return {
+            "k": scale.k,
+            "max_list_size": max(1, min(3, scale.k)),
+            "samples": min(scale.samples, 30),
+        }
+    suite_ops(name)  # validate the name
+    return {
+        "k": scale.k,
+        "max_list_size": max(1, scale.max_list_size),
+        "samples": scale.samples,
+    }

@@ -65,6 +65,9 @@ from repro.errors import (
     SizeLimitExceededError,
     SynthesisError,
 )
+from repro.perf.trace import enable as _perf_enable
+from repro.perf.trace import get_tracer as _perf_get_tracer
+from repro.perf.trace import trace as trace_span
 from repro.service import protocol
 from repro.service.batching import BatchQueue, PendingRequest
 from repro.service.cache import DEFAULT_ENGINE, ResultCache
@@ -171,6 +174,10 @@ class SynthesisService:
         """
         if self._dispatcher is not None:
             return self
+        if self.config.extra.get("trace"):
+            # Feed every completed span into the metrics registry so
+            # span timings ride the existing stats/snapshot plumbing.
+            _perf_enable(sink=self._span_sink)
         pool = HardQueryPool(self.handle, processes=self.config.workers)
         self.supervisor = WorkerSupervisor(
             pool,
@@ -185,6 +192,10 @@ class SynthesisService:
         )
         self._dispatcher.start()
         return self
+
+    def _span_sink(self, name: str, seconds: float) -> None:
+        """Bridge completed trace spans into per-name histograms."""
+        self.metrics.histogram(f"span_{name}").observe(seconds)
 
     @property
     def pool(self) -> "HardQueryPool | None":
@@ -381,7 +392,9 @@ class SynthesisService:
         else:
             started = time.perf_counter()
             try:
-                with self._engine_locks[name]:
+                with self._engine_locks[name], trace_span(
+                    "service.engine", engine=name
+                ):
                     result = engine.synthesize(
                         SynthesisRequest(spec=perm, n_wires=n)
                     )
@@ -436,6 +449,7 @@ class SynthesisService:
             },
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
+            "trace": self._trace_stats(),
             "resilience": {
                 "breaker": self.breaker.snapshot(),
                 "pool": (
@@ -445,6 +459,13 @@ class SynthesisService:
                 ),
             },
         }
+
+    def _trace_stats(self) -> dict:
+        """The ``stats`` payload's span-tracing block."""
+        tracer = _perf_get_tracer()
+        if tracer is None:
+            return {"enabled": False}
+        return {"enabled": True, "aggregate": tracer.aggregate()}
 
     def health(self) -> dict:
         """Resilience status (the ``health`` op payload).
@@ -515,41 +536,49 @@ class SynthesisService:
 
     def _process_batch(self, batch: "list[PendingRequest]") -> None:
         """Resolve a coalesced batch through the vectorized path."""
+        with trace_span("service.batch", size=len(batch)):
+            self._process_batch_inner(batch)
+
+    def _process_batch_inner(self, batch: "list[PendingRequest]") -> None:
         db = self.handle.database
         n = self.handle.n_wires
         # Phase 1: parse specs; protocol/spec failures resolve immediately.
         work: list[tuple[PendingRequest, int]] = []
-        for pending in batch:
-            request = pending.request
-            if request.wires is not None and request.wires != n:
-                pending.resolve(self._error_response(
-                    request.id,
-                    ProtocolError(
-                        f"this daemon serves n_wires={n}, "
-                        f"got wires={request.wires}",
-                        kind="invalid_spec",
-                    ),
-                ))
-                continue
-            try:
-                perm = Permutation.coerce(request.spec_value(), n)
-            except ReproError as exc:
-                pending.resolve(self._error_response(request.id, exc))
-                continue
-            except (TypeError, ValueError) as exc:
-                pending.resolve(self._error_response(
-                    request.id,
-                    ProtocolError(f"unparseable spec: {exc}", kind="invalid_spec"),
-                ))
-                continue
-            work.append((pending, perm.word))
+        with trace_span("service.parse"):
+            for pending in batch:
+                request = pending.request
+                if request.wires is not None and request.wires != n:
+                    pending.resolve(self._error_response(
+                        request.id,
+                        ProtocolError(
+                            f"this daemon serves n_wires={n}, "
+                            f"got wires={request.wires}",
+                            kind="invalid_spec",
+                        ),
+                    ))
+                    continue
+                try:
+                    perm = Permutation.coerce(request.spec_value(), n)
+                except ReproError as exc:
+                    pending.resolve(self._error_response(request.id, exc))
+                    continue
+                except (TypeError, ValueError) as exc:
+                    pending.resolve(self._error_response(
+                        request.id,
+                        ProtocolError(
+                            f"unparseable spec: {exc}", kind="invalid_spec"
+                        ),
+                    ))
+                    continue
+                work.append((pending, perm.word))
         if not work:
             return
         # Phase 2: one vectorized canonicalization + hash probe for the
         # whole batch (this is the point of coalescing).
         lookup_started = time.perf_counter()
-        words = np.array([w for _, w in work], dtype=np.uint64)
-        keys, sizes = db.lookup_with_keys(words)
+        with trace_span("service.lookup", words=len(work)):
+            words = np.array([w for _, w in work], dtype=np.uint64)
+            keys, sizes = db.lookup_with_keys(words)
         self.metrics.histogram("lookup_seconds").observe(
             time.perf_counter() - lookup_started
         )
@@ -613,9 +642,10 @@ class SynthesisService:
         scan_started = time.perf_counter()
         self.metrics.counter("hard_queries").inc(len(scan_items))
         try:
-            results = self.supervisor.solve_many(
-                [w for _, w, _ in scan_items]
-            )
+            with trace_span("service.scan", queries=len(scan_items)):
+                results = self.supervisor.solve_many(
+                    [w for _, w, _ in scan_items]
+                )
         except ServiceError as exc:
             # The pool kept failing even across restarts.  The breaker
             # counts it; the requests degrade rather than error -- the

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core import equivalence, packed
 from repro.core.gates import Gate, all_gates
 from repro.core.packed_np import canonical_np, compose_np, inverse_np
+from repro.perf.trace import trace
 from repro.synth.database import OptimalDatabase
 
 
@@ -59,33 +60,37 @@ def build_database(
     table = db.table
 
     frontier = reps_by_size[0]
-    for size in range(1, k + 1):
-        sources = np.unique(
-            np.concatenate([frontier, inverse_np(frontier, n_wires)])
-        )
-        fresh_pieces: list[np.ndarray] = []
-        for start in range(0, sources.shape[0], chunk):
-            block = sources[start : start + chunk]
-            for gate_word in gate_words:
-                candidates = compose_np(block, gate_word, n_wires)
-                canon = np.unique(canonical_np(candidates, n_wires))
-                fresh = canon[~table.contains_batch(canon)]
-                if fresh.size:
-                    table.insert_batch(fresh, np.uint8(size))
-                    fresh_pieces.append(fresh)
-        if fresh_pieces:
-            frontier = np.sort(np.concatenate(fresh_pieces))
-        else:
-            frontier = np.empty(0, dtype=np.uint64)
-        reps_by_size.append(frontier)
-        if progress is not None:
-            progress(size, int(frontier.shape[0]))
-        if frontier.shape[0] == 0:
-            # The whole group is exhausted below k: pad the remaining
-            # levels with empty arrays and stop searching.
-            for _ in range(size + 1, k + 1):
-                reps_by_size.append(np.empty(0, dtype=np.uint64))
-            break
+    with trace("bfs.build", n_wires=n_wires, k=k):
+        for size in range(1, k + 1):
+            with trace("bfs.level", level=size) as span:
+                sources = np.unique(
+                    np.concatenate([frontier, inverse_np(frontier, n_wires)])
+                )
+                fresh_pieces: list[np.ndarray] = []
+                for start in range(0, sources.shape[0], chunk):
+                    block = sources[start : start + chunk]
+                    for gate_word in gate_words:
+                        candidates = compose_np(block, gate_word, n_wires)
+                        canon = np.unique(canonical_np(candidates, n_wires))
+                        fresh = canon[~table.contains_batch(canon)]
+                        if fresh.size:
+                            table.insert_batch(fresh, np.uint8(size))
+                            fresh_pieces.append(fresh)
+                if fresh_pieces:
+                    frontier = np.sort(np.concatenate(fresh_pieces))
+                else:
+                    frontier = np.empty(0, dtype=np.uint64)
+                reps_by_size.append(frontier)
+                if span is not None:
+                    span.attrs["classes"] = int(frontier.shape[0])
+            if progress is not None:
+                progress(size, int(frontier.shape[0]))
+            if frontier.shape[0] == 0:
+                # The whole group is exhausted below k: pad the remaining
+                # levels with empty arrays and stop searching.
+                for _ in range(size + 1, k + 1):
+                    reps_by_size.append(np.empty(0, dtype=np.uint64))
+                break
 
     db.k = k
     db.reps_by_size = reps_by_size

@@ -28,6 +28,7 @@ from repro.core.circuit import Circuit
 from repro.core.gates import Gate, all_gates
 from repro.core.packed_np import canonical_np, compose_np, expand_classes_np
 from repro.errors import SizeLimitExceededError
+from repro.perf.trace import trace
 from repro.synth.database import OptimalDatabase
 
 
@@ -44,13 +45,14 @@ def peel_minimal_circuit(word: int, db: OptimalDatabase) -> Circuit:
             f"function of size > {db.k} cannot be peeled directly",
             lower_bound=db.k + 1,
         )
-    gates: list[Gate] = []
-    current = word
-    for remaining in range(size, 0, -1):
-        gate, current = db.peel_last_gate(current, remaining)
-        gates.append(gate)
-    gates.reverse()
-    return Circuit(gates=tuple(gates), n_wires=db.n_wires)
+    with trace("search.peel", size=size):
+        gates: list[Gate] = []
+        current = word
+        for remaining in range(size, 0, -1):
+            gate, current = db.peel_last_gate(current, remaining)
+            gates.append(gate)
+        gates.reverse()
+        return Circuit(gates=tuple(gates), n_wires=db.n_wires)
 
 
 @dataclass(frozen=True)
@@ -132,6 +134,10 @@ class MeetInTheMiddleSearch:
 
     def search(self, word: int) -> SearchOutcome:
         """Full query returning the circuit plus search statistics."""
+        with trace("search.query"):
+            return self._search(word)
+
+    def _search(self, word: int) -> SearchOutcome:
         n = self.db.n_wires
         fast = self.db.size_of(word)
         if fast is not None:
@@ -183,14 +189,16 @@ class MeetInTheMiddleSearch:
         n = self.db.n_wires
         word_u = np.uint64(word)
         tested = 0
-        for i, candidates_v in enumerate(self.lists, start=1):
-            if candidates_v.shape[0] == 0:
-                continue
-            h = compose_np(candidates_v, word_u, n)
-            sizes = self.db.sizes_batch(h)
-            tested += int(candidates_v.shape[0])
-            hits = np.flatnonzero(sizes != self.db.MISSING)
-            if hits.size:
-                idx = int(hits[0])
-                return i, int(candidates_v[idx]), int(sizes[idx]), tested
+        with trace("search.scan"):
+            for i, candidates_v in enumerate(self.lists, start=1):
+                if candidates_v.shape[0] == 0:
+                    continue
+                with trace("search.list", list=i):
+                    h = compose_np(candidates_v, word_u, n)
+                    sizes = self.db.sizes_batch(h)
+                    tested += int(candidates_v.shape[0])
+                    hits = np.flatnonzero(sizes != self.db.MISSING)
+                if hits.size:
+                    idx = int(hits[0])
+                    return i, int(candidates_v[idx]), int(sizes[idx]), tested
         return None, None, None, tested
