@@ -120,6 +120,18 @@ class CheckConfig:
         "repro/__init__.py",
     )
 
+    # --- store-layering ----------------------------------------------
+    #: Path fragments allowed to call numpy persistence primitives on
+    #: database files: the store subsystem and the legacy .npz codec.
+    store_allowed: tuple[str, ...] = _tuple(
+        "repro/store/", "repro/synth/database.py"
+    )
+    #: numpy attribute calls treated as database persistence primitives
+    #: when invoked as ``np.<name>`` / ``numpy.<name>``.
+    store_persistence_calls: tuple[str, ...] = _tuple(
+        "load", "save", "savez", "savez_compressed", "memmap", "open_memmap"
+    )
+
     # --- todo-tracking -----------------------------------------------
     #: Markers that must carry a tracking reference.
     todo_markers: tuple[str, ...] = _tuple("TODO", "FIXME", "XXX")
@@ -158,6 +170,8 @@ _PYPROJECT_KEYS = {
     "canonical-arg-names": "canonical_arg_names",
     "layering-engine-names": "layering_engine_names",
     "layering-allowed": "layering_allowed",
+    "store-allowed": "store_allowed",
+    "store-calls": "store_persistence_calls",
     "todo-markers": "todo_markers",
     "exclude": "exclude",
 }

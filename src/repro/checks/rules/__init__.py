@@ -8,6 +8,7 @@ from repro.checks.rules import (  # noqa: F401  (import = registration)
     layering,
     locks,
     mask64,
+    store,
     todo,
     waits,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "layering",
     "locks",
     "mask64",
+    "store",
     "todo",
     "waits",
 ]

@@ -1,0 +1,81 @@
+"""store-layering: database persistence stays behind repro.store.
+
+The store subsystem (:mod:`repro.store`) is the one sanctioned boundary
+between the optimal-circuit database and the filesystem: it owns the
+``.rdb`` flat format, the crash-safe writer, the zero-copy mappings,
+and the format resolver -- and :mod:`repro.synth.database` owns the
+legacy ``.npz`` codec it wraps.  Code anywhere else that reaches for
+``np.load``/``np.savez``/``np.memmap`` on a database file silently
+forks the persistence contract: it bypasses header validation, the
+checksum, the crash-safe rename discipline, and the sidecar resolution
+the service workers rely on to share one mapping.
+
+This rule flags calls to the configured numpy persistence primitives
+(``np.load``, ``np.savez``, ``np.savez_compressed``, ``np.save``,
+``np.memmap``, ``np.lib.format.open_memmap``) in any file outside the
+allowed fragments.  Non-database uses of those primitives do not exist
+in this codebase by policy -- arrays that need persisting go through a
+store or an explicit codec module, which is exactly what the allowed
+list enumerates.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.registry import FileContext, Rule, register
+
+#: Module aliases recognized as numpy at the root of a call chain.
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+def _call_root(node: ast.AST) -> "str | None":
+    """The leftmost ``Name`` id of an attribute chain, or None."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class StoreLayeringRule(Rule):
+    """numpy persistence primitives called outside the store boundary."""
+
+    id = "store-layering"
+    family = "layering"
+    description = (
+        "numpy persistence primitives (np.load, np.savez, np.memmap, ...) "
+        "may only be called inside repro/store/ and the legacy codec "
+        "repro/synth/database.py; everything else goes through repro.store"
+    )
+    scope_field = None
+
+    def applies_to(self, path: str, config) -> bool:
+        if any(fragment in path for fragment in config.store_allowed):
+            return False
+        return super().applies_to(path, config)
+
+    def check(self, ctx: FileContext):
+        flagged = frozenset(ctx.config.store_persistence_calls)
+        if not flagged:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in flagged:
+                continue
+            if _call_root(func) not in _NUMPY_NAMES:
+                continue
+            yield ctx.finding(
+                self, node,
+                f"direct numpy persistence call 'np.{func.attr}' outside "
+                "the store boundary; route through repro.store "
+                "(open_database / write_rdb / convert) instead",
+            )
+
+
+__all__ = ["StoreLayeringRule"]

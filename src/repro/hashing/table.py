@@ -27,6 +27,92 @@ U64Array = npt.NDArray[np.uint64]
 U8Array = npt.NDArray[np.uint8]
 
 
+def probe_lookup_batch(
+    table_keys: U64Array,
+    table_values: U8Array,
+    keys: npt.ArrayLike,
+    missing_value: int,
+) -> U8Array:
+    """Vectorized linear-probe lookup over raw slot arrays.
+
+    Shared by the in-RAM :class:`LinearProbingTable` and the read-only
+    memory-mapped table in :mod:`repro.store`: both lay out slots
+    identically (Wang-hashed home slot, +1 wraparound probing, all-ones
+    empty sentinel), so one implementation guarantees byte-identical
+    results across the two storage back ends.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    result = np.full(keys.shape[0], missing_value, dtype=np.uint8)
+    if keys.shape[0] == 0:
+        return result
+    mask = np.uint64(table_keys.shape[0] - 1)
+    pos = hash64shift_np(keys) & mask
+    pending = np.arange(keys.shape[0])
+    while pending.size:
+        slots = pos[pending]
+        slot_keys = table_keys[slots]
+        found = slot_keys == keys[pending]
+        empty = slot_keys == EMPTY
+        found_idx = pending[found]
+        result[found_idx] = table_values[slots[found]]
+        pending = pending[~(found | empty)]
+        pos[pending] = (pos[pending] + np.uint64(1)) & mask
+    return result
+
+
+def probe_get(
+    table_keys: U64Array,
+    table_values: U8Array,
+    key: int,
+    default: "int | None" = None,
+) -> "int | None":
+    """Scalar linear-probe lookup over raw slot arrays (see
+    :func:`probe_lookup_batch` for the sharing rationale)."""
+    mask = table_keys.shape[0] - 1
+    pos = hash64shift(int(key)) & mask
+    key_u = np.uint64(key)
+    while True:
+        slot_key = table_keys[pos]
+        if slot_key == EMPTY:
+            return default
+        if slot_key == key_u:
+            return int(table_values[pos])
+        pos = (pos + 1) & mask
+
+
+def stats_from_slots(table_keys: U64Array, value_bytes: "int | None" = None) -> "TableStats":
+    """Table 2-style occupancy statistics from a raw slot-key array.
+
+    ``value_bytes`` overrides the memory accounting for back ends whose
+    value array is not 1 byte per slot (the default assumes the standard
+    uint64-key + uint8-value layout).
+    """
+    capacity = int(table_keys.shape[0])
+    occupied = table_keys != EMPTY
+    count = int(occupied.sum())
+    memory = table_keys.shape[0] * 8 + (
+        value_bytes if value_bytes is not None else table_keys.shape[0]
+    )
+    if count == 0:
+        return TableStats(capacity, 0, 0.0, memory, 0.0, 0, 0.0, 0)
+    mask = np.uint64(capacity - 1)
+    slots = np.nonzero(occupied)[0].astype(np.uint64)
+    homes = hash64shift_np(np.asarray(table_keys[occupied])) & mask
+    probe = ((slots - homes) & mask).astype(np.int64) + 1
+    # Cluster lengths: runs of consecutive occupied slots (cyclically).
+    lengths = _run_lengths_cyclic(occupied)
+    return TableStats(
+        capacity=capacity,
+        count=count,
+        load_factor=count / capacity,
+        memory_bytes=memory,
+        average_probe_length=float(probe.mean()),
+        maximal_probe_length=int(probe.max()),
+        average_cluster_length=float(lengths.mean()) if lengths.size else 0.0,
+        maximal_cluster_length=int(lengths.max()) if lengths.size else 0,
+    )
+
+
 @dataclass(frozen=True)
 class TableStats:
     """Occupancy statistics in the format of the paper's Table 2."""
@@ -135,17 +221,7 @@ class LinearProbingTable:
 
     def get(self, key: int, default: "int | None" = None) -> "int | None":
         """Value stored for ``key``, or ``default`` when absent."""
-        mask = self.capacity - 1
-        pos = hash64shift(int(key)) & mask
-        key_u = np.uint64(key)
-        keys = self._keys
-        while True:
-            slot_key = keys[pos]
-            if slot_key == EMPTY:
-                return default
-            if slot_key == key_u:
-                return int(self._values[pos])
-            pos = (pos + 1) & mask
+        return probe_get(self._keys, self._values, key, default)
 
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None
@@ -214,24 +290,9 @@ class LinearProbingTable:
 
     def lookup_batch(self, keys: npt.ArrayLike) -> U8Array:
         """Vectorized lookup; absent keys map to ``missing_value``."""
-        keys = np.asarray(keys, dtype=np.uint64)
-        result = np.full(keys.shape[0], self.missing_value, dtype=np.uint8)
-        if keys.shape[0] == 0:
-            return result
-        mask = np.uint64(self.capacity - 1)
-        pos = hash64shift_np(keys) & mask
-        pending = np.arange(keys.shape[0])
-        table_keys = self._keys
-        while pending.size:
-            slots = pos[pending]
-            slot_keys = table_keys[slots]
-            found = slot_keys == keys[pending]
-            empty = slot_keys == EMPTY
-            found_idx = pending[found]
-            result[found_idx] = self._values[slots[found]]
-            pending = pending[~(found | empty)]
-            pos[pending] = (pos[pending] + np.uint64(1)) & mask
-        return result
+        return probe_lookup_batch(
+            self._keys, self._values, keys, self.missing_value
+        )
 
     def contains_batch(self, keys: npt.ArrayLike) -> npt.NDArray[np.bool_]:
         """Boolean membership mask for many keys at once."""
@@ -251,27 +312,21 @@ class LinearProbingTable:
 
     def stats(self) -> TableStats:
         """Occupancy statistics (Table 2 of the paper)."""
-        occupied = self._keys != EMPTY
-        count = int(occupied.sum())
-        memory = self._keys.nbytes + self._values.nbytes
-        if count == 0:
-            return TableStats(self.capacity, 0, 0.0, memory, 0.0, 0, 0.0, 0)
-        mask = np.uint64(self.capacity - 1)
-        slots = np.nonzero(occupied)[0].astype(np.uint64)
-        homes = hash64shift_np(self._keys[occupied]) & mask
-        probe = ((slots - homes) & mask).astype(np.int64) + 1
-        # Cluster lengths: runs of consecutive occupied slots (cyclically).
-        lengths = _run_lengths_cyclic(occupied)
-        return TableStats(
-            capacity=self.capacity,
-            count=count,
-            load_factor=count / self.capacity,
-            memory_bytes=memory,
-            average_probe_length=float(probe.mean()),
-            maximal_probe_length=int(probe.max()),
-            average_cluster_length=float(lengths.mean()) if lengths.size else 0.0,
-            maximal_cluster_length=int(lengths.max()) if lengths.size else 0,
-        )
+        return stats_from_slots(self._keys, value_bytes=self._values.nbytes)
+
+    @property
+    def capacity_bits(self) -> int:
+        """log2 of the slot count (the on-disk store records this)."""
+        return self._capacity_bits
+
+    def slot_arrays(self) -> tuple[U64Array, U8Array]:
+        """The raw (keys, values) slot arrays, including empty slots.
+
+        This is the exact probing layout; :mod:`repro.store` serializes
+        it verbatim so a memory-mapped table probes identically.  The
+        returned arrays are live views -- callers must not mutate them.
+        """
+        return self._keys, self._values
 
     def save_arrays(self) -> "dict[str, npt.NDArray[np.generic]]":
         """Dense (key, value) arrays for persistence."""

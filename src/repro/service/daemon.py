@@ -447,6 +447,7 @@ class SynthesisService:
                 "default": DEFAULT_ENGINE,
                 "loaded": sorted(self._engines),
             },
+            "database": self._database_info(),
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
             "trace": self._trace_stats(),
@@ -458,6 +459,27 @@ class SynthesisService:
                     else None
                 ),
             },
+        }
+
+    def _database_info(self) -> dict:
+        """Where the database lives and whether it is a shared mapping.
+
+        ``mapped: True`` means the table is a read-only ``.rdb``
+        memory-map -- every worker process touching it shares one
+        page-cache copy (see ``docs/DATABASE.md``).
+        """
+        from repro.store import is_mapped, mapped_path, store_format
+
+        db = self.handle.database
+        path = mapped_path(db)
+        if path is None and self.handle.store_path is not None:
+            path = self.handle.store_path
+        elif path is None and self.handle.cache_path is not None:
+            path = self.handle.cache_path
+        return {
+            "store": str(path) if path is not None else None,
+            "format": store_format(path) if path is not None else None,
+            "mapped": is_mapped(db),
         }
 
     def _trace_stats(self) -> dict:
@@ -502,6 +524,7 @@ class SynthesisService:
             "breaker": breaker,
             "pool": pool,
             "cache": cache,
+            "database": self._database_info(),
         }
         if self.faults is not None:
             body["faults"] = self.faults.snapshot()

@@ -1,0 +1,66 @@
+"""Versioned on-disk database stores (``.rdb``) with zero-copy mapping.
+
+The ``.rdb`` flat binary format persists the optimal-circuit database's
+open-addressing slot array verbatim, so an ``np.memmap`` over the file
+probes byte-identically to the in-RAM table: cold start is
+O(page-fault) instead of O(table-build), and every process mapping the
+same store shares one copy of it in the page cache.  See
+``docs/DATABASE.md`` for the format layout and sharing semantics.
+
+Public surface:
+
+- :func:`open_database` / :func:`map_database` -- open a store
+  (``.rdb`` maps zero-copy, legacy ``.npz`` loads into RAM)
+- :func:`write_rdb` / :func:`convert` -- produce stores crash-safely
+- :func:`verify_store` / :func:`describe` -- integrity and Table 2 stats
+- :class:`MmapTable` -- the read-only mapped table itself
+"""
+
+from repro.store.format import (
+    HEADER_SIZE,
+    MAX_K,
+    RDB_MAGIC,
+    RDB_VERSION,
+    StoreHeader,
+    read_header,
+)
+from repro.store.mapped import is_mapped, map_database, mapped_path
+from repro.store.mmap_table import MmapTable
+from repro.store.registry import (
+    FORMAT_NPZ,
+    FORMAT_RDB,
+    StoreInfo,
+    convert,
+    describe,
+    open_database,
+    rdb_sidecar,
+    resolve_store,
+    store_format,
+    verify_store,
+)
+from repro.store.writer import payload_checksum, write_rdb
+
+__all__ = [
+    "FORMAT_NPZ",
+    "FORMAT_RDB",
+    "HEADER_SIZE",
+    "MAX_K",
+    "MmapTable",
+    "RDB_MAGIC",
+    "RDB_VERSION",
+    "StoreHeader",
+    "StoreInfo",
+    "convert",
+    "describe",
+    "is_mapped",
+    "map_database",
+    "mapped_path",
+    "open_database",
+    "payload_checksum",
+    "rdb_sidecar",
+    "read_header",
+    "resolve_store",
+    "store_format",
+    "verify_store",
+    "write_rdb",
+]

@@ -1,0 +1,146 @@
+"""Read-only, zero-copy view of an ``.rdb`` slot array via ``np.memmap``.
+
+Satisfies the lookup surface of
+:class:`repro.hashing.table.LinearProbingTable` (``get``,
+``lookup_batch``, ``contains_batch``, ``stats``, ``keys``/``items``,
+``slot_arrays``) over memory-mapped arrays: nothing is copied into the
+Python heap, pages fault in on first touch, and every process mapping
+the same file shares one copy in the page cache.  Mutation is refused
+-- the store is an immutable artifact; rebuild and atomically replace
+it instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import DatabaseError
+from repro.hashing.table import (
+    EMPTY,
+    TableStats,
+    U8Array,
+    U64Array,
+    probe_get,
+    probe_lookup_batch,
+    stats_from_slots,
+)
+from repro.store.format import StoreHeader
+
+
+class MmapTable:
+    """Linear-probing lookups over the memory-mapped slot arrays.
+
+    Drop-in for the lookup half of ``LinearProbingTable``; inserts
+    raise :class:`DatabaseError`.
+    """
+
+    def __init__(self, path, header: StoreHeader) -> None:
+        if not np.little_endian:  # pragma: no cover - LE-only format
+            raise DatabaseError(
+                f"database store {path} is little-endian; this host is "
+                "big-endian and cannot map it"
+            )
+        self.path = path
+        self.header = header
+        self.missing_value = 255
+        try:
+            self._keys: U64Array = np.memmap(
+                path,
+                mode="r",
+                dtype=np.uint64,
+                offset=header.keys_offset,
+                shape=(header.capacity,),
+            )
+            self._values: U8Array = np.memmap(
+                path,
+                mode="r",
+                dtype=np.uint8,
+                offset=header.values_offset,
+                shape=(header.capacity,),
+            )
+        except (OSError, ValueError) as exc:
+            raise DatabaseError(
+                f"database store {path} could not be mapped: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.header.capacity
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.header.capacity_bits
+
+    def __len__(self) -> int:
+        return self.header.count
+
+    @property
+    def load_factor(self) -> float:
+        return self.header.count / self.header.capacity
+
+    # ------------------------------------------------------------------
+    # Lookups (shared probe implementations: byte-identical to the
+    # in-RAM table by construction)
+    # ------------------------------------------------------------------
+    def get(self, key: int, default: "int | None" = None) -> "int | None":
+        return probe_get(self._keys, self._values, key, default)
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def lookup_batch(self, keys: npt.ArrayLike) -> U8Array:
+        return probe_lookup_batch(
+            self._keys, self._values, keys, self.missing_value
+        )
+
+    def contains_batch(self, keys: npt.ArrayLike) -> npt.NDArray[np.bool_]:
+        return self.lookup_batch(keys) != self.missing_value
+
+    # ------------------------------------------------------------------
+    # Mutation is refused
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> bool:
+        raise DatabaseError(
+            f"database store {self.path} is a read-only mapping; "
+            "rebuild the store to change it"
+        )
+
+    def insert_batch(self, keys, values) -> int:
+        raise DatabaseError(
+            f"database store {self.path} is a read-only mapping; "
+            "rebuild the store to change it"
+        )
+
+    def reserve(self, expected_count: int) -> None:
+        raise DatabaseError(
+            f"database store {self.path} is a read-only mapping; "
+            "rebuild the store to change it"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def keys(self) -> U64Array:
+        """All stored keys (materialized copy; faults the whole map)."""
+        keys = np.asarray(self._keys)
+        return keys[keys != EMPTY].copy()
+
+    def items(self) -> tuple[U64Array, U8Array]:
+        keys = np.asarray(self._keys)
+        occupied = keys != EMPTY
+        return keys[occupied].copy(), np.asarray(self._values)[occupied].copy()
+
+    def stats(self) -> TableStats:
+        """Table 2-style statistics (scans the whole mapping)."""
+        return stats_from_slots(self._keys, value_bytes=self.capacity)
+
+    def slot_arrays(self) -> tuple[U64Array, U8Array]:
+        """The raw mapped (keys, values) slot arrays (read-only views)."""
+        return self._keys, self._values
+
+
+__all__ = ["MmapTable"]

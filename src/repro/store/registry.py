@@ -1,0 +1,213 @@
+"""Store registry: resolve, open, convert, describe, verify.
+
+One boundary for "a database lives at this path": callers hand any
+``.rdb`` or legacy ``.npz`` path to :func:`open_database` and get an
+:class:`OptimalDatabase` back -- memory-mapped for ``.rdb`` (zero copy,
+O(page-fault) cold start), fully loaded for ``.npz``.  The ``.rdb``
+sidecar convention (``db-n4-k6.npz`` -> ``db-n4-k6.rdb``) lets the
+synthesizer upgrade legacy caches in place, and :func:`resolve_store`
+prefers the sidecar whenever it exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatabaseError
+from repro.hashing.table import TableStats
+from repro.perf.trace import trace
+from repro.store.format import StoreHeader, read_header
+from repro.store.mapped import map_database
+from repro.store.writer import payload_checksum, write_rdb
+
+#: Recognized store formats, by file extension.
+FORMAT_RDB = "rdb"
+FORMAT_NPZ = "npz"
+
+
+def store_format(path: "str | Path") -> str:
+    """``"rdb"`` or ``"npz"`` from the file extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".rdb":
+        return FORMAT_RDB
+    if suffix == ".npz":
+        return FORMAT_NPZ
+    raise DatabaseError(
+        f"unrecognized database store extension {suffix!r} for {path} "
+        "(expected .rdb or .npz)"
+    )
+
+
+def rdb_sidecar(path: "str | Path") -> Path:
+    """The ``.rdb`` sidecar path for a legacy ``.npz`` cache path."""
+    return Path(path).with_suffix(".rdb")
+
+
+def resolve_store(path: "str | Path") -> Path:
+    """The preferred store path for ``path``: its ``.rdb`` sidecar when
+    one exists, otherwise the path itself."""
+    path = Path(path)
+    if store_format(path) == FORMAT_NPZ:
+        sidecar = rdb_sidecar(path)
+        if sidecar.exists():
+            return sidecar
+    return path
+
+
+def open_database(path: "str | Path"):
+    """Open a database store of either format.
+
+    ``.rdb`` maps zero-copy; ``.npz`` loads and rebuilds in RAM (the
+    legacy path).  Both raise :class:`DatabaseError` naming the path on
+    corruption.
+    """
+    from repro.synth.database import OptimalDatabase
+
+    path = Path(path)
+    if store_format(path) == FORMAT_RDB:
+        return map_database(path)
+    return OptimalDatabase.load(path)
+
+
+def convert(src: "str | Path", dst: "str | Path"):
+    """Convert between store formats; returns the opened source database.
+
+    ``.npz -> .rdb`` is the upgrade path; ``.rdb -> .npz`` exports a
+    legacy archive (for tooling that predates the flat format).
+    Same-format conversion is a rewrite (useful to re-pack after a
+    version bump).
+    """
+    src, dst = Path(src), Path(dst)
+    db = open_database(src)
+    if store_format(dst) == FORMAT_RDB:
+        write_rdb(db, dst)
+    else:
+        _save_npz(db, dst)
+    return db
+
+
+def _save_npz(db, path: Path) -> None:
+    """Export to the legacy ``.npz`` format (materializes mapped views)."""
+    from repro.synth.database import OptimalDatabase
+
+    if isinstance(db, OptimalDatabase) and not any(
+        isinstance(r, np.memmap) for r in db.reps_by_size
+    ):
+        db.save(path)
+        return
+    materialized = OptimalDatabase.from_reps(
+        db.n_wires,
+        db.k,
+        [np.asarray(r, dtype=np.uint64).copy() for r in db.reps_by_size],
+    )
+    materialized.save(path)
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """What ``repro db info`` / the cache listing report per store file."""
+
+    path: Path
+    format: str
+    size_bytes: int
+    n_wires: int
+    k: int
+    entries: int
+    stats: TableStats
+
+    def format_rows(self) -> list[str]:
+        rows = [
+            f"path       {self.path}",
+            f"format     {self.format}",
+            f"size       {self.size_bytes / (1 << 20):.1f} MB on disk",
+            f"n_wires    {self.n_wires}",
+            f"k          {self.k}",
+            f"entries    {self.entries}",
+        ]
+        rows.extend(self.stats.format_rows())
+        return rows
+
+
+def describe(path: "str | Path") -> StoreInfo:
+    """Open a store and report its parameters and Table 2 statistics."""
+    path = Path(path)
+    db = open_database(path)
+    return StoreInfo(
+        path=path,
+        format=store_format(path),
+        size_bytes=path.stat().st_size,
+        n_wires=db.n_wires,
+        k=db.k,
+        entries=len(db.table),
+        stats=db.table.stats(),
+    )
+
+
+def verify_store(path: "str | Path") -> StoreInfo:
+    """Full integrity pass over a store file; returns its description.
+
+    For ``.rdb``: header validation, payload SHA-256 against the stored
+    checksum, and a semantic cross-check that every persisted
+    representative probes back to its own size through the mapped
+    table.  For ``.npz``: a full load (the legacy loader already
+    validates structure) plus the same semantic cross-check.  Any
+    failure raises :class:`DatabaseError` naming the path.
+    """
+    path = Path(path)
+    with trace("db.verify", path=str(path)):
+        if store_format(path) == FORMAT_RDB:
+            header = read_header(path)
+            _verify_checksum(path, header)
+        db = open_database(path)
+        _verify_semantics(path, db)
+        return describe(path)
+
+
+def _verify_checksum(path: Path, header: StoreHeader) -> None:
+    actual = payload_checksum(path, header)
+    if actual != header.checksum:
+        raise DatabaseError(
+            f"database store {path} failed its checksum (stored "
+            f"{header.checksum.hex()[:12]}..., computed "
+            f"{actual.hex()[:12]}...)"
+        )
+
+
+def _verify_semantics(path: Path, db) -> None:
+    total = 0
+    for size, reps in enumerate(db.reps_by_size):
+        reps = np.asarray(reps, dtype=np.uint64)
+        total += int(reps.shape[0])
+        if reps.shape[0] == 0:
+            continue
+        # reps are canonical by construction; this is the raw-table probe.
+        found = db.table.lookup_batch(reps)
+        bad = np.nonzero(found != size)[0]
+        if bad.size:
+            raise DatabaseError(
+                f"database store {path} is inconsistent: representative "
+                f"{int(reps[bad[0]]):#x} of size {size} probes to "
+                f"{int(found[bad[0]])}"
+            )
+    if total != len(db.table):
+        raise DatabaseError(
+            f"database store {path} is inconsistent: {total} "
+            f"representatives vs {len(db.table)} table entries"
+        )
+
+
+__all__ = [
+    "FORMAT_NPZ",
+    "FORMAT_RDB",
+    "StoreInfo",
+    "convert",
+    "describe",
+    "open_database",
+    "rdb_sidecar",
+    "resolve_store",
+    "store_format",
+    "verify_store",
+]

@@ -182,6 +182,20 @@ class OptimalDatabase:
         return OptimalDatabase.from_reps(n_wires, k, reps_by_size)
 
     @staticmethod
+    def map(path: "str | Path") -> "OptimalDatabase":
+        """Memory-map a flat ``.rdb`` store written by
+        :func:`repro.store.write_rdb`.
+
+        Unlike :meth:`load`, nothing is deserialized: the hash table and
+        per-size representative arrays are read-only ``np.memmap`` views
+        over the file, shared page-cache-wide with every other process
+        mapping the same store.  See :mod:`repro.store`.
+        """
+        from repro.store import map_database
+
+        return map_database(path)
+
+    @staticmethod
     def from_reps(
         n_wires: int, k: int, reps_by_size: list[np.ndarray]
     ) -> "OptimalDatabase":

@@ -51,8 +51,10 @@ class SynthesisHandle:
     around without re-triggering :meth:`OptimalSynthesizer.prepare` or
     carrying the whole facade.  All referenced state is read-only after
     preparation and safe to share across threads; across *processes* it
-    is shared for free under ``fork`` (copy-on-write) or rebuilt from
-    ``cache_path`` under ``spawn``.
+    is shared for free under ``fork`` (copy-on-write) or reopened from
+    ``store_path`` under ``spawn`` -- a memory-mapped ``.rdb`` store
+    shares its pages across *all* processes either way, so N workers
+    hold one physical copy of the table.
     """
 
     n_wires: int
@@ -61,6 +63,7 @@ class SynthesisHandle:
     database: OptimalDatabase
     engine: MeetInTheMiddleSearch
     cache_path: "Path | None"
+    store_path: "Path | None" = None
 
     @property
     def max_size(self) -> int:
@@ -102,9 +105,11 @@ class OptimalSynthesizer:
         self.verbose = verbose
         if cache_dir is False:
             self.cache_path = None
+            self.store_path = None
         else:
             base = Path(cache_dir) if cache_dir else default_cache_dir()
             self.cache_path = base / f"db-n{n_wires}-k{k}.npz"
+            self.store_path = self.cache_path.with_suffix(".rdb")
         self._db: "OptimalDatabase | None" = None
         self._search: "MeetInTheMiddleSearch | None" = None
 
@@ -112,11 +117,33 @@ class OptimalSynthesizer:
     # Lifecycle
     # ------------------------------------------------------------------
     def prepare(self, force_rebuild: bool = False) -> "OptimalSynthesizer":
-        """Build or load the database and materialize the search lists."""
+        """Build or load the database and materialize the search lists.
+
+        Load order: the memory-mapped ``.rdb`` store sidecar when one
+        exists (zero-copy, O(page-fault) cold start), then the legacy
+        ``.npz`` cache, then a fresh BFS build.  Whenever the database
+        came from anywhere but the ``.rdb``, a fresh sidecar is written
+        (crash-safely, best-effort) so the *next* start maps instead of
+        rebuilding.
+        """
         if self._search is not None and not force_rebuild:
             return self
         db = None
-        if not force_rebuild and self.cache_path and self.cache_path.exists():
+        if not force_rebuild and self.store_path and self.store_path.exists():
+            self._log(f"mapping database store {self.store_path}")
+            try:
+                db = OptimalDatabase.map(self.store_path)
+            except DatabaseError as exc:
+                self._log(f"store unusable ({exc}); falling back")
+                db = None
+            if db is not None and (
+                db.n_wires != self.n_wires or db.k < self.k
+            ):
+                db = None
+        mapped = db is not None
+        if db is None and (
+            not force_rebuild and self.cache_path and self.cache_path.exists()
+        ):
             self._log(f"loading database from {self.cache_path}")
             db = OptimalDatabase.load(self.cache_path)
             if db.n_wires != self.n_wires or db.k < self.k:
@@ -133,11 +160,49 @@ class OptimalSynthesizer:
             if self.cache_path:
                 db.save(self.cache_path)
                 self._log(f"saved to {self.cache_path}")
+        if not mapped:
+            self._write_store_sidecar(db)
         self._db = db
         self._log(f"building lists A_1..A_{self.max_list_size}")
         lists = MeetInTheMiddleSearch.build_lists(db, self.max_list_size)
         self._search = MeetInTheMiddleSearch(db, lists)
         return self
+
+    def prepare_from_store(self, path: "str | Path") -> "OptimalSynthesizer":
+        """Prepare directly from a database store at ``path``.
+
+        ``.rdb`` maps zero-copy (the route the daemon's spawned workers
+        take so they all share one page-cache copy); ``.npz`` loads into
+        RAM.  Raises :class:`DatabaseError` when the store is missing,
+        corrupt, or does not cover this synthesizer's parameters.
+        """
+        from repro.store import open_database
+
+        path = Path(path)
+        db = open_database(path)
+        if db.n_wires != self.n_wires or db.k < self.k:
+            raise DatabaseError(
+                f"database store {path} holds n_wires={db.n_wires}, "
+                f"k={db.k}; synthesizer needs n_wires={self.n_wires}, "
+                f"k>={self.k}"
+            )
+        self._db = db
+        self._log(f"building lists A_1..A_{self.max_list_size}")
+        lists = MeetInTheMiddleSearch.build_lists(db, self.max_list_size)
+        self._search = MeetInTheMiddleSearch(db, lists)
+        return self
+
+    def _write_store_sidecar(self, db: OptimalDatabase) -> None:
+        """Best-effort ``.rdb`` sidecar write next to the ``.npz`` cache."""
+        if not self.store_path:
+            return
+        from repro.store import write_rdb
+
+        try:
+            write_rdb(db, self.store_path)
+            self._log(f"wrote store sidecar {self.store_path}")
+        except DatabaseError as exc:
+            self._log(f"could not write store sidecar: {exc}")
 
     @property
     def database(self) -> OptimalDatabase:
@@ -162,6 +227,9 @@ class OptimalSynthesizer:
     def handle(self) -> SynthesisHandle:
         """Prepare (if needed) and return a warm :class:`SynthesisHandle`."""
         self.prepare()
+        store_path = self.store_path
+        if store_path is not None and not store_path.exists():
+            store_path = None
         return SynthesisHandle(
             n_wires=self.n_wires,
             k=self.k,
@@ -169,6 +237,7 @@ class OptimalSynthesizer:
             database=self._db,
             engine=self._search,
             cache_path=self.cache_path,
+            store_path=store_path,
         )
 
     @staticmethod
@@ -181,6 +250,7 @@ class OptimalSynthesizer:
             cache_dir=False,
         )
         synth.cache_path = handle.cache_path
+        synth.store_path = handle.store_path
         synth._db = handle.database
         synth._search = handle.engine
         return synth

@@ -467,6 +467,53 @@ class TestEngineLayering:
             "from repro.engines import create_engine\n", path=SERVICE
         ) == []
 
+
+# ---------------------------------------------------------------------------
+# store-layering
+# ---------------------------------------------------------------------------
+class TestStoreLayering:
+    LOAD = "import numpy as np\ndata = np.load('db.npz')\n"
+
+    def test_flags_np_load_in_service(self):
+        assert "store-layering" in findings(self.LOAD, path=SERVICE)
+
+    def test_flags_np_savez_and_memmap(self):
+        source = (
+            "import numpy as np\n"
+            "np.savez('db.npz', a=1)\n"
+            "m = np.memmap('db.rdb', mode='r')\n"
+        )
+        assert findings(source, path=SERVICE).count("store-layering") == 2
+
+    def test_flags_full_numpy_alias(self):
+        assert "store-layering" in findings(
+            "import numpy\nnumpy.savez_compressed('db.npz')\n", path=SERVICE
+        )
+
+    def test_passes_inside_store_package(self):
+        assert findings(self.LOAD, path="src/repro/store/example.py") == []
+
+    def test_passes_legacy_codec_module(self):
+        assert findings(
+            self.LOAD, path="src/repro/synth/database.py"
+        ) == []
+
+    def test_non_persistence_numpy_calls_allowed(self):
+        assert findings(
+            "import numpy as np\nx = np.zeros(4)\n", path=SERVICE
+        ) == []
+
+    def test_memmap_isinstance_not_flagged(self):
+        assert findings(
+            "import numpy as np\nok = isinstance(x, np.memmap)\n",
+            path=SERVICE,
+        ) == []
+
+    def test_non_numpy_load_not_flagged(self):
+        assert findings(
+            "data = pickle.load(fh)\n", path=SERVICE
+        ) == []
+
     def test_infrastructure_names_not_flagged(self):
         # SynthesisHandle / peel_minimal_circuit are serving
         # infrastructure, not engine entry points.

@@ -159,6 +159,72 @@ class TestOtherCommands:
         assert "24" in out
 
 
+class TestDbCommands:
+    def _build(self, tmp_path):
+        rdb = tmp_path / "db.rdb"
+        code = main(
+            ["db", "build", "--wires", "3", "-k", "3", "--lists", "1",
+             "-o", str(rdb)]
+        )
+        assert code == 0
+        return rdb
+
+    def test_db_build_writes_store(self, capsys, tmp_path):
+        rdb = self._build(tmp_path)
+        out = capsys.readouterr().out
+        assert rdb.exists()
+        assert "format     rdb" in out
+        assert "Load Factor" in out
+
+    def test_db_verify_ok_and_fail(self, capsys, tmp_path):
+        rdb = self._build(tmp_path)
+        assert main(["db", "verify", str(rdb)]) == 0
+        assert "OK:" in capsys.readouterr().out
+        raw = bytearray(rdb.read_bytes())
+        raw[-1] ^= 0xFF
+        rdb.write_bytes(bytes(raw))
+        assert main(["db", "verify", str(rdb)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_db_convert_and_info(self, capsys, tmp_path):
+        rdb = self._build(tmp_path)
+        npz = tmp_path / "db.npz"
+        assert main(["db", "convert", str(rdb), str(npz)]) == 0
+        assert npz.exists()
+        assert main(["db", "info", str(npz)]) == 0
+        out = capsys.readouterr().out
+        assert "format     npz" in out
+
+    def test_db_list_both_formats(self, capsys, tmp_path):
+        # A dedicated directory: the autouse cache fixture points
+        # REPRO_CACHE_DIR at tmp_path, and `db build` persists its own
+        # cache stores there too.
+        stores = tmp_path / "stores"
+        stores.mkdir()
+        rdb = self._build(stores)
+        main(["db", "convert", str(rdb), str(stores / "db.npz")])
+        capsys.readouterr()
+        assert main(["db", "list", "--dir", str(stores)]) == 0
+        out = capsys.readouterr().out
+        assert "db.rdb" in out and "db.npz" in out
+        assert out.count("Load Factor") == 2
+
+    def test_db_list_reports_unreadable_store(self, capsys, tmp_path):
+        (tmp_path / "broken.rdb").write_bytes(b"not a store")
+        assert main(["db", "list", "--dir", str(tmp_path)]) == 1
+        assert "UNREADABLE" in capsys.readouterr().out
+
+    def test_info_lists_rdb_sidecars(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["build-db", "--wires", "3", "-k", "3",
+                     "--lists", "1"]) == 0
+        capsys.readouterr()
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "db-n3-k3.npz  [npz]" in out
+        assert "db-n3-k3.rdb  [rdb]" in out
+
+
 class TestEngines:
     NOT_A_3 = "[1,0,3,2,5,4,7,6]"
 

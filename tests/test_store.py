@@ -1,0 +1,370 @@
+"""Tests for the repro.store subsystem: the .rdb flat binary store.
+
+Covers the format round trip (write -> map -> byte-identical lookups),
+the corruption edges (truncated header, bad magic, version skew,
+checksum mismatch, capacity/length disagreement -- each a DatabaseError
+naming the path), the registry (extension resolution, conversion,
+sidecars), the read-only mapped table, and the db.map/db.verify trace
+spans.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.perf as perf
+from repro import store
+from repro.errors import DatabaseError
+from repro.store.format import _FIXED  # noqa: PLC2701 - format edge tests
+from repro.synth.database import OptimalDatabase
+
+
+@pytest.fixture(scope="module")
+def rdb3(tmp_path_factory, db3):
+    """The n=3 session database persisted as an .rdb store."""
+    path = tmp_path_factory.mktemp("store") / "db-n3-k8.rdb"
+    store.write_rdb(db3, path)
+    return path
+
+
+def _all_reps(db):
+    return np.concatenate(
+        [np.asarray(r, dtype=np.uint64) for r in db.reps_by_size if len(r)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Round trip and parity
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_map_preserves_parameters(self, rdb3, db3):
+        mapped = store.map_database(rdb3)
+        assert mapped.n_wires == db3.n_wires
+        assert mapped.k == db3.k
+        assert len(mapped.table) == len(db3.table)
+
+    def test_lookup_batch_byte_identical(self, rdb3, db3):
+        mapped = store.map_database(rdb3)
+        rng = np.random.default_rng(7)
+        keys = np.concatenate([
+            rng.integers(0, 2**64, size=50_000, dtype=np.uint64),
+            _all_reps(db3),
+        ])
+        expected = db3.table.lookup_batch(keys)
+        got = mapped.table.lookup_batch(keys)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    def test_scalar_get_parity(self, rdb3, db3):
+        mapped = store.map_database(rdb3)
+        for rep in _all_reps(db3)[:200]:
+            assert mapped.table.get(int(rep)) == db3.table.get(int(rep))
+        assert mapped.table.get(0xDEAD_BEEF_0000_0001) is None
+
+    def test_reps_views_identical(self, rdb3, db3):
+        mapped = store.map_database(rdb3)
+        assert len(mapped.reps_by_size) == len(db3.reps_by_size)
+        for ours, theirs in zip(mapped.reps_by_size, db3.reps_by_size):
+            assert np.array_equal(np.asarray(ours), np.asarray(theirs))
+
+    def test_stats_match_in_ram_table(self, rdb3, db3):
+        ours = store.map_database(rdb3).table.stats()
+        theirs = db3.table.stats()
+        assert ours.capacity == theirs.capacity
+        assert ours.count == theirs.count
+        assert ours.average_probe_length == theirs.average_probe_length
+        assert ours.maximal_cluster_length == theirs.maximal_cluster_length
+
+    def test_mapped_database_synthesizes(self, rdb3, db3):
+        # The mapped database drives the search engine end to end.
+        from repro.synth.search import MeetInTheMiddleSearch
+
+        mapped = store.map_database(rdb3)
+        lists = MeetInTheMiddleSearch.build_lists(mapped, 1)
+        engine = MeetInTheMiddleSearch(mapped, lists)
+        word = int(db3.reps_by_size[3][0])
+        circuit = engine.minimal_circuit(word)
+        assert circuit.gate_count == 3
+
+    def test_optimal_database_map_staticmethod(self, rdb3):
+        mapped = OptimalDatabase.map(rdb3)
+        assert store.is_mapped(mapped)
+        assert store.mapped_path(mapped) == rdb3
+
+    def test_write_is_deterministic(self, tmp_path, db3):
+        a = tmp_path / "a.rdb"
+        b = tmp_path / "b.rdb"
+        store.write_rdb(db3, a)
+        store.write_rdb(db3, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=64))
+def test_hypothesis_npz_rdb_lookups_identical(tmp_path_factory, probes):
+    """Property: .npz -> .rdb conversion preserves every lookup result."""
+    base = tmp_path_factory.mktemp("hyp")
+    from repro.synth.bfs import build_database
+
+    db = build_database(2, 3)
+    npz = base / "db.npz"
+    rdb = base / "db.rdb"
+    db.save(npz)
+    store.convert(npz, rdb)
+    loaded = OptimalDatabase.load(npz)
+    mapped = store.map_database(rdb)
+    keys = np.concatenate([
+        np.array(probes, dtype=np.uint64),
+        _all_reps(db),
+    ])
+    assert np.array_equal(
+        mapped.table.lookup_batch(keys), loaded.table.lookup_batch(keys)
+    )
+
+
+# ----------------------------------------------------------------------
+# Read-only mapped table
+# ----------------------------------------------------------------------
+class TestMmapTableReadOnly:
+    def test_insert_refused_with_path(self, rdb3):
+        table = store.map_database(rdb3).table
+        with pytest.raises(DatabaseError, match="read-only mapping"):
+            table.insert(1, 1)
+
+    def test_insert_batch_refused(self, rdb3):
+        table = store.map_database(rdb3).table
+        with pytest.raises(DatabaseError, match=str(rdb3)):
+            table.insert_batch(np.array([1], dtype=np.uint64), 1)
+
+    def test_reserve_refused(self, rdb3):
+        table = store.map_database(rdb3).table
+        with pytest.raises(DatabaseError, match="read-only"):
+            table.reserve(10)
+
+    def test_keys_and_items_materialize(self, rdb3, db3):
+        table = store.map_database(rdb3).table
+        keys = table.keys()
+        assert keys.shape[0] == len(db3.table)
+        got_keys, got_values = table.items()
+        assert got_keys.shape == got_values.shape == keys.shape
+
+    def test_contains(self, rdb3, db3):
+        table = store.map_database(rdb3).table
+        rep = int(db3.reps_by_size[2][0])
+        assert rep in table
+        assert 0xDEAD_BEEF_0000_0001 not in table
+
+
+# ----------------------------------------------------------------------
+# Corruption edges (every error names the path)
+# ----------------------------------------------------------------------
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        ghost = tmp_path / "ghost.rdb"
+        with pytest.raises(DatabaseError, match="ghost.rdb"):
+            store.map_database(ghost)
+
+    def test_truncated_header(self, tmp_path, rdb3):
+        stub = tmp_path / "stub.rdb"
+        stub.write_bytes(rdb3.read_bytes()[:100])
+        with pytest.raises(DatabaseError, match=r"truncated.*100 bytes"):
+            store.map_database(stub)
+
+    def test_bad_magic(self, tmp_path, rdb3):
+        raw = bytearray(rdb3.read_bytes())
+        raw[:8] = b"notanrdb"
+        bad = tmp_path / "bad-magic.rdb"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(DatabaseError, match="bad magic"):
+            store.map_database(bad)
+        with pytest.raises(DatabaseError, match="bad-magic.rdb"):
+            store.map_database(bad)
+
+    def test_version_skew(self, tmp_path, rdb3):
+        raw = bytearray(rdb3.read_bytes())
+        struct.pack_into("<I", raw, 8, store.RDB_VERSION + 1)
+        skewed = tmp_path / "skewed.rdb"
+        skewed.write_bytes(bytes(raw))
+        with pytest.raises(DatabaseError, match="repro db convert"):
+            store.map_database(skewed)
+
+    def test_checksum_mismatch(self, tmp_path, rdb3):
+        raw = bytearray(rdb3.read_bytes())
+        raw[store.HEADER_SIZE + 5] ^= 0xFF
+        rotted = tmp_path / "rotted.rdb"
+        rotted.write_bytes(bytes(raw))
+        # Mapping alone does not checksum (O(page-fault) cold start)...
+        store.map_database(rotted)
+        # ...but the full verify pass catches the flipped byte.
+        with pytest.raises(DatabaseError, match="checksum"):
+            store.verify_store(rotted)
+        with pytest.raises(DatabaseError, match="rotted.rdb"):
+            store.verify_store(rotted)
+
+    def test_capacity_bits_length_disagreement(self, tmp_path, rdb3):
+        header = store.read_header(rdb3)
+        raw = bytearray(rdb3.read_bytes())
+        struct.pack_into("<I", raw, 24, header.capacity_bits + 1)
+        liar = tmp_path / "liar.rdb"
+        liar.write_bytes(bytes(raw))
+        with pytest.raises(DatabaseError, match="liar.rdb"):
+            store.map_database(liar)
+
+    def test_truncated_payload(self, tmp_path, rdb3):
+        raw = rdb3.read_bytes()
+        short = tmp_path / "short.rdb"
+        short.write_bytes(raw[:-64])
+        with pytest.raises(DatabaseError, match=r"short.rdb.*requires"):
+            store.map_database(short)
+
+    def test_capacity_bits_out_of_range(self, tmp_path, rdb3):
+        raw = bytearray(rdb3.read_bytes())
+        struct.pack_into("<I", raw, 24, 60)
+        wild = tmp_path / "wild.rdb"
+        wild.write_bytes(bytes(raw))
+        with pytest.raises(DatabaseError, match="capacity_bits"):
+            store.map_database(wild)
+
+    def test_header_roundtrip(self, rdb3):
+        header = store.read_header(rdb3)
+        assert header.version == store.RDB_VERSION
+        repacked = store.StoreHeader.unpack(header.pack(), rdb3)
+        assert repacked == header
+
+    def test_fixed_header_fits(self):
+        assert _FIXED.size + 8 * (store.MAX_K + 1) <= store.HEADER_SIZE
+
+
+# ----------------------------------------------------------------------
+# Registry: resolution, conversion, verify
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_store_format(self):
+        assert store.store_format("x/a.rdb") == "rdb"
+        assert store.store_format("x/a.NPZ") == "npz"
+        with pytest.raises(DatabaseError, match="a.json"):
+            store.store_format("x/a.json")
+
+    def test_open_database_both_formats(self, tmp_path, db3):
+        npz = tmp_path / "db.npz"
+        rdb = tmp_path / "db.rdb"
+        db3.save(npz)
+        store.write_rdb(db3, rdb)
+        via_npz = store.open_database(npz)
+        via_rdb = store.open_database(rdb)
+        assert not store.is_mapped(via_npz)
+        assert store.is_mapped(via_rdb)
+        keys = _all_reps(db3)
+        assert np.array_equal(
+            via_npz.table.lookup_batch(keys), via_rdb.table.lookup_batch(keys)
+        )
+
+    def test_rdb_sidecar_and_resolution(self, tmp_path, db3):
+        npz = tmp_path / "db-n3-k8.npz"
+        db3.save(npz)
+        assert store.rdb_sidecar(npz) == tmp_path / "db-n3-k8.rdb"
+        assert store.resolve_store(npz) == npz  # no sidecar yet
+        store.write_rdb(db3, store.rdb_sidecar(npz))
+        assert store.resolve_store(npz) == tmp_path / "db-n3-k8.rdb"
+
+    def test_convert_rdb_to_npz(self, tmp_path, rdb3, db3):
+        npz = tmp_path / "exported.npz"
+        store.convert(rdb3, npz)
+        exported = OptimalDatabase.load(npz)
+        keys = _all_reps(db3)
+        assert np.array_equal(
+            exported.table.lookup_batch(keys), db3.table.lookup_batch(keys)
+        )
+
+    def test_verify_ok(self, rdb3, db3):
+        info = store.verify_store(rdb3)
+        assert info.format == "rdb"
+        assert info.entries == len(db3.table)
+        assert info.k == db3.k
+
+    def test_verify_npz(self, tmp_path, db3):
+        npz = tmp_path / "db.npz"
+        db3.save(npz)
+        info = store.verify_store(npz)
+        assert info.format == "npz"
+        assert info.entries == len(db3.table)
+
+    def test_describe_reports_stats(self, rdb3, db3):
+        info = store.describe(rdb3)
+        assert info.size_bytes == rdb3.stat().st_size
+        assert info.stats.count == len(db3.table)
+        assert any("Load Factor" in row for row in info.format_rows())
+
+
+# ----------------------------------------------------------------------
+# Synthesizer integration: sidecar write and store preference
+# ----------------------------------------------------------------------
+class TestSynthesizerIntegration:
+    def test_prepare_writes_sidecar_then_maps(self, tmp_path):
+        from repro.synth.synthesizer import OptimalSynthesizer
+
+        first = OptimalSynthesizer(n_wires=3, k=3, cache_dir=tmp_path)
+        first.prepare()
+        assert first.store_path.exists(), "sidecar not written after build"
+        assert not store.is_mapped(first.database)
+
+        second = OptimalSynthesizer(n_wires=3, k=3, cache_dir=tmp_path)
+        second.prepare()
+        assert store.is_mapped(second.database), "sidecar not preferred"
+        assert store.mapped_path(second.database) == first.store_path
+
+    def test_prepare_falls_back_on_corrupt_sidecar(self, tmp_path):
+        from repro.synth.synthesizer import OptimalSynthesizer
+
+        OptimalSynthesizer(n_wires=3, k=3, cache_dir=tmp_path).prepare()
+        sidecar = tmp_path / "db-n3-k3.rdb"
+        sidecar.write_bytes(b"garbage")
+        synth = OptimalSynthesizer(n_wires=3, k=3, cache_dir=tmp_path)
+        synth.prepare()  # must not raise: falls back to the .npz
+        assert not store.is_mapped(synth.database)
+        assert synth.size("[1,0,3,2,5,4,7,6]") == 1
+
+    def test_prepare_from_store(self, rdb3):
+        from repro.synth.synthesizer import OptimalSynthesizer
+
+        synth = OptimalSynthesizer(n_wires=3, k=8, cache_dir=False)
+        synth.prepare_from_store(rdb3)
+        assert store.is_mapped(synth.database)
+        assert synth.size("[1,0,3,2,5,4,7,6]") == 1
+
+    def test_prepare_from_store_rejects_mismatch(self, rdb3):
+        from repro.synth.synthesizer import OptimalSynthesizer
+
+        synth = OptimalSynthesizer(n_wires=4, k=4, cache_dir=False)
+        with pytest.raises(DatabaseError, match="n_wires"):
+            synth.prepare_from_store(rdb3)
+
+    def test_handle_carries_store_path(self, tmp_path):
+        from repro.synth.synthesizer import OptimalSynthesizer
+
+        synth = OptimalSynthesizer(n_wires=3, k=3, cache_dir=tmp_path)
+        handle = synth.handle()
+        assert handle.store_path == tmp_path / "db-n3-k3.rdb"
+        assert handle.store_path.exists()
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+class TestTracing:
+    def test_map_and_verify_emit_spans(self, rdb3):
+        tracer = perf.enable()
+        tracer.reset()
+        try:
+            store.map_database(rdb3)
+            store.verify_store(rdb3)
+        finally:
+            perf.disable()
+        aggregate = tracer.aggregate()
+        assert "db.map" in aggregate
+        assert "db.verify" in aggregate
