@@ -22,6 +22,13 @@ invariants as lint rules:
 * **todo-tracking** -- ``TODO``/``FIXME``/``XXX`` comments must carry a
   tracking reference.
 
+With ``--graph`` a whole-program pass (:mod:`repro.checks.graph`) adds
+cross-module rules on top of the per-file ones: ``lock-order-cycle``
+(an interprocedural deadlock detector), ``cross-unmasked-op`` (mask64
+taint that survives call boundaries), and ``layer-violation`` (the
+declarative architecture DAG from ``[tool.repro.checks]``).  The
+``repro arch`` subcommand dumps the underlying import/lock graphs.
+
 Run it as ``repro check <paths>`` (or ``python -m repro check``).
 Findings are suppressed inline with ``# repro: allow[rule-id] reason``;
 the reason is mandatory.  See ``docs/CHECKS.md`` for the full rule
@@ -32,22 +39,36 @@ from __future__ import annotations
 
 from repro.checks.config import CheckConfig, load_config
 from repro.checks.findings import Finding, Severity
-from repro.checks.registry import Rule, all_rules, get_rule, register
-from repro.checks.report import render_json, render_text
-from repro.checks.runner import CheckReport, check_paths, check_source
+from repro.checks.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.checks.report import render_json, render_sarif, render_text
+from repro.checks.runner import (
+    CheckReport,
+    changed_python_files,
+    check_paths,
+    check_source,
+)
 
 __all__ = [
     "CheckConfig",
     "CheckReport",
     "Finding",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
+    "changed_python_files",
     "check_paths",
     "check_source",
     "get_rule",
     "load_config",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,36 @@
+"""Small AST helpers shared by per-file rules and the graph layer."""
+
+from __future__ import annotations
+
+import ast
+
+
+def expr_text(node: ast.expr) -> "str | None":
+    """Dotted text of a Name/Attribute chain (``self._lock``), else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = expr_text(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def call_root(node: ast.AST) -> "str | None":
+    """The leftmost ``Name`` id of an attribute chain, or None."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_lock_expr(node: ast.expr, lock_names: tuple[str, ...]) -> bool:
+    """True when a ``with`` context expression looks like a lock."""
+    text = expr_text(node)
+    if text is None:
+        return False
+    terminal = text.rsplit(".", 1)[-1].lower()
+    return any(fragment in terminal for fragment in lock_names)
+
+
+__all__ = ["call_root", "expr_text", "is_lock_expr"]

@@ -132,6 +132,53 @@ class CheckConfig:
         "load", "save", "savez", "savez_compressed", "memmap", "open_memmap"
     )
 
+    # --- architecture (layer DAG) ------------------------------------
+    #: Layer definitions: ``"name: fragment [fragment ...]"``.  A module
+    #: belongs to the layer owning the longest fragment found in its
+    #: path; unmatched modules are unconstrained.
+    arch_layers: tuple[str, ...] = _tuple(
+        "foundation: repro/errors.py",
+        "perf: repro/perf/",
+        "core: repro/core/",
+        "hashing: repro/hashing/",
+        "rng: repro/rng/",
+        "store: repro/store/",
+        "sat: repro/sat/",
+        "stabilizer: repro/stabilizer/",
+        "synth: repro/synth/",
+        "engines: repro/engines/",
+        "public: repro/__init__.py",
+        "analysis: repro/analysis/",
+        "apps: repro/apps/",
+        "io: repro/io/",
+        "data: repro/benchmarks_data/",
+        "service: repro/service/",
+        "checks: repro/checks/",
+        "app: repro/cli.py repro/__main__.py",
+    )
+    #: Allowed module-scope (top-level) dependencies per layer:
+    #: ``"layer -> dep [dep ...]"``.  Same-layer imports are always
+    #: allowed; lazy (function-scoped) imports are exempt from the DAG.
+    arch_allow: tuple[str, ...] = _tuple(
+        "perf -> foundation",
+        "core -> foundation perf",
+        "hashing -> foundation",
+        "rng -> core foundation",
+        "store -> foundation hashing perf",
+        "sat -> core foundation",
+        "stabilizer -> foundation",
+        "synth -> core foundation hashing perf rng",
+        "engines -> core foundation perf sat synth",
+        "public -> core foundation synth",
+        "analysis -> core foundation rng",
+        "apps -> core foundation",
+        "io -> core foundation",
+        "data -> core",
+        "service -> core engines foundation perf public synth",
+        "checks -> foundation",
+        "app -> foundation public",
+    )
+
     # --- todo-tracking -----------------------------------------------
     #: Markers that must carry a tracking reference.
     todo_markers: tuple[str, ...] = _tuple("TODO", "FIXME", "XXX")
@@ -172,6 +219,8 @@ _PYPROJECT_KEYS = {
     "layering-allowed": "layering_allowed",
     "store-allowed": "store_allowed",
     "store-calls": "store_persistence_calls",
+    "arch-layers": "arch_layers",
+    "arch-allow": "arch_allow",
     "todo-markers": "todo_markers",
     "exclude": "exclude",
 }

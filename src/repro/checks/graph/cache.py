@@ -1,0 +1,88 @@
+"""Content-hash-keyed cache of per-file symbol indexes.
+
+The whole-program pass must stay cheap on warm runs: the index of a
+file is a pure function of its bytes (plus the extraction version and
+the config knobs that steer extraction), so it is cached as one small
+JSON file named by ``sha256(source) ⊕ INDEX_VERSION ⊕ config digest``.
+Any edit to the file, any bump of :data:`~repro.checks.graph.index
+.INDEX_VERSION`, and any change to the lock-name config therefore
+misses cleanly -- no invalidation protocol, no staleness.
+
+Writes are atomic (tmp + replace) so concurrent runs never observe a
+torn entry; unreadable or corrupt entries are treated as misses.  The
+cache directory is chosen by ``repro check --cache-dir`` or the
+``REPRO_CHECKS_CACHE`` environment variable (CI points it at a
+restored directory keyed on the source hash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.checks.graph.index import INDEX_VERSION, FileIndex
+
+#: Environment variable naming the default cache directory.
+CACHE_ENV = "REPRO_CHECKS_CACHE"
+
+
+def default_cache_dir() -> "Path | None":
+    """The ``REPRO_CHECKS_CACHE`` directory, or None (cache disabled)."""
+    value = os.environ.get(CACHE_ENV, "").strip()
+    return Path(value) if value else None
+
+
+class IndexCache:
+    """Per-file :class:`FileIndex` store keyed on content hash."""
+
+    def __init__(self, directory: "Path | str") -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(source: str, config_digest: str) -> str:
+        """Cache key for one file's source under one config digest."""
+        h = hashlib.sha256()
+        h.update(f"v{INDEX_VERSION}|{config_digest}|".encode())
+        h.update(source.encode("utf-8", errors="surrogatepass"))
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> "FileIndex | None":
+        """The cached index for ``key``, or None on miss/corruption."""
+        try:
+            data = json.loads(self._path(key).read_text(encoding="utf-8"))
+            result = FileIndex.from_json(data)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, index: FileIndex) -> None:
+        """Store ``index`` under ``key`` (atomic, best-effort)."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            target = self._path(key)
+            tmp = target.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(
+                json.dumps(index.to_json(), sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(target)
+        except OSError:
+            pass  # a cold cache next run, not a failure now
+
+
+def config_digest(lock_names: tuple[str, ...]) -> str:
+    """Digest of the config knobs that steer index extraction."""
+    h = hashlib.sha256()
+    h.update("|".join(lock_names).encode("utf-8"))
+    return h.hexdigest()[:16]
+
+
+__all__ = ["CACHE_ENV", "IndexCache", "config_digest", "default_cache_dir"]

@@ -1,0 +1,166 @@
+"""Emitters for ``repro arch``: import/lock graphs as DOT or JSON.
+
+The JSON form is versioned and stable (sorted keys, deterministic edge
+order) so CI diffs and downstream tooling can rely on it; the DOT form
+is for humans (``dot -Tsvg``).  Lazy import edges render dashed --
+they are exempt from the layer DAG but still worth seeing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.graph.archspec import ArchSpec
+from repro.checks.graph.project import ProjectIndex
+
+#: Bumped when the JSON shape changes.
+EMIT_VERSION = 1
+
+
+def _dot_escape(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def import_graph_json(index: ProjectIndex) -> str:
+    """The module import graph (internal edges only) as stable JSON."""
+    spec = ArchSpec.from_config(index.config)
+    edges = sorted(
+        (
+            {
+                "src": e.src,
+                "dst": e.dst,
+                "top_level": e.top_level,
+                "path": e.path,
+                "line": e.line,
+            }
+            for e in index.import_edges
+            if e.dst in index.modules
+        ),
+        key=lambda d: (d["src"], d["dst"], d["line"]),
+    )
+    modules = {
+        module: {"path": path, "layer": spec.layer_of(path)}
+        for module, path in sorted(index.modules.items())
+    }
+    return json.dumps(
+        {
+            "version": EMIT_VERSION,
+            "graph": "imports",
+            "modules": modules,
+            "edges": edges,
+            "cycles": index.import_cycles(),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def import_graph_dot(index: ProjectIndex) -> str:
+    """The module import graph as DOT, clustered by layer."""
+    spec = ArchSpec.from_config(index.config)
+    by_layer: "dict[str, list[str]]" = {}
+    for module, path in sorted(index.modules.items()):
+        layer = spec.layer_of(path) or "(unlayered)"
+        by_layer.setdefault(layer, []).append(module)
+    lines = ["digraph imports {", "  rankdir=BT;", "  node [shape=box];"]
+    for number, (layer, modules) in enumerate(sorted(by_layer.items())):
+        lines.append(f"  subgraph cluster_{number} {{")
+        lines.append(f"    label={_dot_escape(layer)};")
+        for module in modules:
+            lines.append(f"    {_dot_escape(module)};")
+        lines.append("  }")
+    seen: "set[tuple[str, str, bool]]" = set()
+    for edge in index.import_edges:
+        if edge.dst not in index.modules:
+            continue
+        key = (edge.src, edge.dst, edge.top_level)
+        if key in seen:
+            continue
+        seen.add(key)
+        style = "" if edge.top_level else " [style=dashed]"
+        lines.append(
+            f"  {_dot_escape(edge.src)} -> {_dot_escape(edge.dst)}{style};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def lock_graph_json(index: ProjectIndex) -> str:
+    """The held-while-acquiring graph as stable JSON."""
+    edges = sorted(
+        (
+            {
+                "held": e.held,
+                "acquired": e.acquired,
+                "function": e.function,
+                "path": e.path,
+                "line": e.line,
+                "via_caller": e.via_caller,
+            }
+            for e in index.lock_edges
+        ),
+        key=lambda d: (d["held"], d["acquired"], d["function"]),
+    )
+    cycles = [
+        [
+            {
+                "held": e.held,
+                "acquired": e.acquired,
+                "function": e.function,
+                "path": e.path,
+                "line": e.line,
+            }
+            for e in cycle
+        ]
+        for cycle in index.lock_cycles()
+    ]
+    return json.dumps(
+        {
+            "version": EMIT_VERSION,
+            "graph": "locks",
+            "edges": edges,
+            "cycles": cycles,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def lock_graph_dot(index: ProjectIndex) -> str:
+    """The held-while-acquiring graph as DOT; cycle edges render red."""
+    in_cycle: "set[tuple[str, str]]" = {
+        (e.held, e.acquired)
+        for cycle in index.lock_cycles()
+        for e in cycle
+    }
+    lines = ["digraph locks {", "  node [shape=ellipse];"]
+    seen: "set[tuple[str, str]]" = set()
+    for edge in sorted(
+        index.lock_edges, key=lambda e: (e.held, e.acquired)
+    ):
+        key = (edge.held, edge.acquired)
+        if key in seen:
+            continue
+        seen.add(key)
+        attrs = []
+        if key in in_cycle:
+            attrs.append("color=red")
+            attrs.append("penwidth=2")
+        if edge.via_caller:
+            attrs.append("style=dashed")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(
+            f"  {_dot_escape(edge.held)} -> "
+            f"{_dot_escape(edge.acquired)}{suffix};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "EMIT_VERSION",
+    "import_graph_dot",
+    "import_graph_json",
+    "lock_graph_dot",
+    "lock_graph_json",
+]

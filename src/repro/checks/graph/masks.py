@@ -1,0 +1,211 @@
+"""Interprocedural mask64 taint: function summaries across call sites.
+
+The per-file ``unmasked-op`` rule resets taint at every call boundary:
+a call result is assumed clean, so ``passthrough(word) << 4`` slips
+through even though ``passthrough`` hands the packed word straight
+back.  This module closes that hole with *function summaries*:
+
+* ``returns-masked?`` -- a function whose every return value flows
+  through ``mask64``/``& MASK64`` (or never touches a packed word)
+  produces clean results;
+* otherwise the function **returns a word**: its results carry taint
+  into the caller exactly like a word-named parameter would.
+
+Summaries are computed to a fixpoint over the call graph (a function
+returning ``g(word)`` is word-returning iff ``g`` is), then one final
+taint pass runs with summaries enabled.  Findings already produced by
+the intraprocedural rule are subtracted, so ``cross-unmasked-op`` only
+reports violations that *need* the call boundary to be seen --
+the two rules never double-report one site.
+
+``requires-masked-args?`` is the dual summary: the parameters a callee
+treats as packed words.  Unmasked growth in an argument expression is
+already caught at the call site by the per-file rule, so it needs no
+extra reporting here; the summary is exported for ``repro arch``
+consumers instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.checks.astutil import expr_text
+from repro.checks.config import CheckConfig
+from repro.checks.findings import Finding
+from repro.checks.graph.index import CallSite, FileIndex, FunctionInfo
+from repro.checks.graph.project import ProjectContext
+from repro.checks.registry import FileContext, Rule
+from repro.checks.rules.mask64 import _TaintEval
+
+_Resolver = Callable[[ast.Call], "str | None"]
+
+
+class _InterTaintEval(_TaintEval):
+    """Taint evaluation with call summaries: a call to a word-returning
+    function taints its result; everything else matches the base rule."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        ctx: FileContext,
+        summaries: "dict[str, bool]",
+        resolve: _Resolver,
+    ) -> None:
+        super().__init__(rule, ctx)
+        self.summaries = summaries
+        self.resolve = resolve
+        self.return_tainted = False
+
+    def _eval_call(self, node: ast.Call) -> "tuple[bool, list]":
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+        pending: "list[Finding]" = []
+        for arg in node.args:
+            pending += self.eval(arg)[1]
+        for kw in node.keywords:
+            pending += self.eval(kw.value)[1]
+        if func_name in self.config.mask64_masking_calls:
+            # mask64(...) truncates: absolve everything inside.
+            return False, []
+        callee = self.resolve(node)
+        if callee is not None and self.summaries.get(callee, False):
+            return True, pending
+        return False, pending
+
+    def _walk_stmt(self, stmt: ast.stmt, collect: bool) -> None:
+        if isinstance(stmt, ast.Return):
+            tainted, pending = self.eval(stmt.value)
+            if tainted:
+                self.return_tainted = True
+            self._emit(pending, collect)
+            return
+        super()._walk_stmt(stmt, collect)
+
+
+class _ScopedFunction:
+    """One in-scope function body with its resolution context."""
+
+    def __init__(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        ctx: FileContext,
+        index: FileIndex,
+        info: FunctionInfo,
+    ) -> None:
+        self.node = node
+        self.ctx = ctx
+        self.index = index
+        self.info = info
+        self.qualified = f"{index.module}.{info.qualname}"
+
+    def resolver(self, project: ProjectContext) -> _Resolver:
+        def resolve(call: ast.Call) -> "str | None":
+            callee = expr_text(call.func)
+            if callee is None:
+                return None
+            site = CallSite(
+                callee=callee, line=call.lineno, col=call.col_offset, held=()
+            )
+            return project.index.resolve_call(self.index, self.info, site)
+
+        return resolve
+
+
+def _scoped_functions(
+    project: ProjectContext, config: CheckConfig
+) -> "list[_ScopedFunction]":
+    """Every analyzable function in the mask64 scope, with context."""
+    result: "list[_ScopedFunction]" = []
+    for path in sorted(project.index.files):
+        if not config.in_scope(path, config.mask64_scope):
+            continue
+        tree = project.get_tree(path)
+        source = project.get_source(path)
+        if tree is None or source is None:
+            continue
+        index = project.index.files[path]
+        ctx = FileContext(
+            path=path, source=source, tree=tree, comments=[], config=config
+        )
+        info_by_line = {
+            (info.name, info.line): info for info in index.functions
+        }
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if any(
+                node.name.endswith(suffix)
+                for suffix in config.mask64_exempt_suffixes
+            ):
+                continue
+            info = info_by_line.get((node.name, node.lineno))
+            if info is None:
+                continue  # nested def: not indexed, not summarized
+            result.append(_ScopedFunction(node, ctx, index, info))
+    return result
+
+
+def compute_summaries(
+    project: ProjectContext, rule: Rule
+) -> "tuple[dict[str, bool], dict[str, tuple[str, ...]]]":
+    """Fixpoint ``returns-word?`` plus ``requires-masked-args?`` tables."""
+    config = project.config
+    functions = _scoped_functions(project, config)
+    summaries: "dict[str, bool]" = {f.qualified: False for f in functions}
+    requires: "dict[str, tuple[str, ...]]" = {
+        f.qualified: tuple(
+            p for p in f.info.params if p in config.mask64_word_names
+        )
+        for f in functions
+    }
+    for _ in range(len(functions) + 1):
+        changed = False
+        for func in functions:
+            evaluator = _InterTaintEval(
+                rule, func.ctx, summaries, func.resolver(project)
+            )
+            evaluator.run_function(func.node)  # type: ignore[arg-type]
+            if evaluator.return_tainted and not summaries[func.qualified]:
+                summaries[func.qualified] = True
+                changed = True
+        if not changed:
+            break
+    return summaries, requires
+
+
+def run_cross_mask(project: ProjectContext, rule: Rule) -> "Iterator[Finding]":
+    """Findings that need the call boundary: interprocedural minus
+    intraprocedural."""
+    config = project.config
+    functions = _scoped_functions(project, config)
+    if not functions:
+        return
+    summaries, _ = compute_summaries(project, rule)
+    no_summaries: "dict[str, bool]" = {}
+    for func in functions:
+        base = _InterTaintEval(
+            rule, func.ctx, no_summaries, func.resolver(project)
+        )
+        base_findings = base.run_function(func.node)  # type: ignore[arg-type]
+        base_sites = {(f.line, f.col) for f in base_findings}
+        inter = _InterTaintEval(
+            rule, func.ctx, summaries, func.resolver(project)
+        )
+        for finding in inter.run_function(func.node):  # type: ignore[arg-type]
+            if (finding.line, finding.col) in base_sites:
+                continue
+            yield replace(
+                finding,
+                message=(
+                    f"{finding.message} (packed-word taint crosses a call "
+                    "boundary: a callee returns an unmasked word)"
+                ),
+            )
+
+
+__all__ = ["compute_summaries", "run_cross_mask"]

@@ -72,6 +72,9 @@ class Rule:
     #: Name of the CheckConfig attribute holding this rule's path scope,
     #: or None to run on every file.
     scope_field: "str | None" = None
+    #: True for whole-program rules (run once per project under
+    #: ``--graph``, not once per file).
+    project: bool = False
 
     def applies_to(self, path: str, config: CheckConfig) -> bool:
         """True when the rule should run on ``path``."""
@@ -88,6 +91,27 @@ class Rule:
 
     def __repr__(self) -> str:
         return f"<Rule {self.id} ({self.family})>"
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules never run in the per-file loop (:meth:`check` yields
+    nothing); under ``repro check --graph`` the runner builds one
+    :class:`~repro.checks.graph.project.ProjectContext` and calls
+    :meth:`check_project` once.  Findings are still anchored at file
+    locations, so inline suppressions and per-rule scopes apply
+    normally.
+    """
+
+    project = True
+
+    def check(self, ctx: FileContext):
+        return iter(())
+
+    def check_project(self, project):
+        """Yield findings for the whole project; overridden."""
+        raise NotImplementedError
 
 
 _REGISTRY: "dict[str, Rule]" = {}
@@ -137,6 +161,7 @@ def select_rules(select: "tuple[str, ...] | list[str] | None") -> list[Rule]:
 
 __all__ = [
     "FileContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",

@@ -2,17 +2,26 @@
 
 Text output is one ``path:line:col: severity [rule-id] message`` line
 per finding plus a summary; JSON output is a stable machine-readable
-document (``version`` field guards consumers against format drift).
+document (``version`` field guards consumers against format drift);
+SARIF output is a minimal SARIF 2.1.0 log for code-scanning upload.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.checks.registry import all_rules
 from repro.checks.runner import CheckReport
 
 #: Bump when the JSON document shape changes.
 JSON_FORMAT_VERSION = 1
+
+#: The SARIF spec revision we emit.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: CheckReport) -> str:
@@ -47,4 +56,64 @@ def render_json(report: CheckReport) -> str:
     return json.dumps(document, indent=2, sort_keys=True)
 
 
-__all__ = ["JSON_FORMAT_VERSION", "render_json", "render_text"]
+def render_sarif(report: CheckReport) -> str:
+    """SARIF 2.1.0 log for GitHub code scanning (suppressions omitted:
+    SARIF consumers treat absent results as resolved)."""
+    descriptions = {rule.id: rule.description for rule in all_rules()}
+    referenced = sorted({finding.rule_id for finding in report.findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in referenced
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": str(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "JSON_FORMAT_VERSION",
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

@@ -2,24 +2,24 @@
 
 from __future__ import annotations
 
+from repro.checks.graph import rules as graph_rules  # noqa: F401
 from repro.checks.rules import (  # noqa: F401  (import = registration)
     api_misuse,
+    arch,
     determinism,
-    layering,
     locks,
     mask64,
-    store,
     todo,
     waits,
 )
 
 __all__ = [
     "api_misuse",
+    "arch",
     "determinism",
-    "layering",
+    "graph_rules",
     "locks",
     "mask64",
-    "store",
     "todo",
     "waits",
 ]

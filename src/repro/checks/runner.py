@@ -1,29 +1,40 @@
 """Check runner: file discovery, rule dispatch, suppression filtering.
 
-Two entry points:
+Entry points:
 
 * :func:`check_paths` -- run rules over files/directories, as the
-  ``repro check`` CLI does;
-* :func:`check_source` -- run rules over an in-memory source string
-  (used by the self-tests; ``path`` still matters because rule scopes
-  match on it).
+  ``repro check`` CLI does.  With ``graph=True`` the per-file pass is
+  followed by a whole-program pass: every parsed file is folded into a
+  :class:`~repro.checks.graph.project.ProjectIndex` (consulting the
+  content-hash ``cache`` when given) and the registered
+  :class:`~repro.checks.registry.ProjectRule` rules run once over it;
+* :func:`check_source` -- run per-file rules over an in-memory source
+  string (used by the self-tests; ``path`` still matters because rule
+  scopes match on it);
+* :func:`changed_python_files` -- the ``--changed`` file set from git.
 """
 
 from __future__ import annotations
 
+import ast
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.checks.config import CheckConfig, load_config
 from repro.checks.findings import Finding, Severity
-from repro.checks.registry import FileContext, Rule, select_rules
+from repro.checks.registry import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    select_rules,
+)
 from repro.checks.suppressions import (
+    Suppression,
     apply_suppressions,
     extract_comments,
     parse_suppressions,
 )
-
-import ast
 
 
 @dataclass
@@ -61,31 +72,62 @@ def iter_python_files(paths: "list[str | Path]") -> "list[Path]":
         else:
             candidates = []
         for candidate in candidates:
-            key = candidate.resolve()
+            try:
+                key = candidate.resolve()
+            except OSError:  # pragma: no cover - unresolvable path
+                key = candidate
             if key not in seen:
                 seen.add(key)
                 result.append(candidate)
     return result
 
 
-def check_source(
-    source: str,
-    path: str = "<string>",
-    config: "CheckConfig | None" = None,
-    select: "tuple[str, ...] | list[str] | None" = None,
-) -> CheckReport:
-    """Run the (selected) rules over one in-memory source string.
+def changed_python_files(
+    root: "Path | str | None" = None,
+    base_ref: str = "origin/main",
+) -> "list[Path] | None":
+    """``.py`` files changed since ``merge-base HEAD base_ref``, plus
+    untracked ones; ``None`` when git is unavailable or the base ref
+    does not exist (callers fall back to the full tree)."""
+    cwd = str(root) if root is not None else None
 
-    ``path`` participates in scope matching, so tests pass values like
-    ``src/repro/core/example.py`` to trigger scoped rules.
-    """
-    if config is None:
-        config = CheckConfig()
-    rules = select_rules(select)
-    report = CheckReport(files_checked=1)
-    posix = path.replace("\\", "/")
+    def _git(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv],
+            capture_output=True, text=True, check=True, cwd=cwd, timeout=30,
+        ).stdout
+
     try:
-        tree = ast.parse(source, filename=path)
+        top = _git("rev-parse", "--show-toplevel").strip()
+        base = _git("merge-base", "HEAD", base_ref).strip()
+        diff = _git("diff", "--name-only", "-z", base, "--")
+        untracked = _git("ls-files", "--others", "--exclude-standard", "-z")
+    except (OSError, subprocess.SubprocessError):
+        return None
+    names = {
+        name
+        for blob in (diff, untracked)
+        for name in blob.split("\0")
+        if name.endswith(".py")
+    }
+    result: "list[Path]" = []
+    for name in sorted(names):
+        path = Path(top) / name
+        if path.is_file():
+            result.append(path)
+    return result
+
+
+def _check_file(
+    source: str,
+    posix: str,
+    config: CheckConfig,
+    rules: "list[Rule]",
+) -> "tuple[CheckReport, ast.Module | None, list[Suppression]]":
+    """Per-file pass for one source: report plus reusable artifacts."""
+    report = CheckReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=posix)
     except SyntaxError as exc:
         report.findings.append(Finding(
             path=posix,
@@ -96,22 +138,80 @@ def check_source(
             message=f"file does not parse: {exc.msg}",
             severity=Severity.ERROR,
         ))
-        return report
+        return report, None, []
     comments = extract_comments(source)
     ctx = FileContext(
         path=posix, source=source, tree=tree, comments=comments, config=config
     )
     raw: "list[Finding]" = []
     for rule in rules:
+        if rule.project:
+            continue  # whole-program rules run after the per-file loop
         if not rule.applies_to(posix, config):
             continue
         raw.extend(rule.check(ctx))
-    suppressions, problems = parse_suppressions(source, comments, posix)
+    suppressions, problems = parse_suppressions(
+        source, comments, posix, tree=tree
+    )
     kept, suppressed = apply_suppressions(raw, suppressions)
     report.findings.extend(kept)
     report.findings.extend(problems)
     report.suppressed.extend(suppressed)
     report.sort()
+    return report, tree, suppressions
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    config: "CheckConfig | None" = None,
+    select: "tuple[str, ...] | list[str] | None" = None,
+) -> CheckReport:
+    """Run the (selected) per-file rules over one in-memory source string.
+
+    ``path`` participates in scope matching, so tests pass values like
+    ``src/repro/core/example.py`` to trigger scoped rules.
+    """
+    if config is None:
+        config = CheckConfig()
+    rules = select_rules(select)
+    posix = path.replace("\\", "/")
+    report, _, _ = _check_file(source, posix, config, rules)
+    return report
+
+
+def _run_project_rules(
+    rules: "list[Rule]",
+    sources: "dict[str, str]",
+    trees: "dict[str, ast.Module]",
+    suppression_map: "dict[str, list[Suppression]]",
+    config: CheckConfig,
+    cache=None,
+) -> CheckReport:
+    """Whole-program pass: build the project index, run ProjectRules."""
+    from repro.checks.graph.project import build_project
+
+    report = CheckReport()
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if not project_rules:
+        return report
+    project = build_project(
+        sources.items(), config, cache=cache, trees=trees
+    )
+    for rule in project_rules:
+        raw = [
+            finding for finding in rule.check_project(project)
+            if rule.applies_to(finding.path, config)
+        ]
+        for finding in raw:
+            covered = any(
+                s.covers(finding)
+                for s in suppression_map.get(finding.path, [])
+            )
+            if covered:
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
     return report
 
 
@@ -120,33 +220,59 @@ def check_paths(
     config: "CheckConfig | None" = None,
     select: "tuple[str, ...] | list[str] | None" = None,
     root: "Path | str | None" = None,
+    graph: bool = False,
+    cache=None,
 ) -> CheckReport:
     """Run the (selected) rules over files and directory trees.
 
     ``config`` defaults to :func:`load_config` relative to ``root`` (the
     current directory when omitted), so a ``[tool.repro.checks]`` table
-    in pyproject.toml is honored automatically.
+    in pyproject.toml is honored automatically.  ``graph=True`` adds the
+    whole-program pass; ``cache`` is an optional
+    :class:`~repro.checks.graph.cache.IndexCache` that lets unchanged
+    files skip re-indexing between runs.
     """
     if config is None:
         config = load_config(root)
+    rules = select_rules(select)
     report = CheckReport()
+    sources: "dict[str, str]" = {}
+    trees: "dict[str, ast.Module]" = {}
+    suppression_map: "dict[str, list[Suppression]]" = {}
     for path in iter_python_files(paths):
+        posix = path.as_posix()
         try:
             source = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             report.findings.append(Finding(
-                path=path.as_posix(), line=1, col=0,
+                path=posix, line=1, col=0,
                 rule_id="read-error", family="checks",
                 message=f"cannot read file: {exc}",
                 severity=Severity.ERROR,
             ))
             report.files_checked += 1
             continue
-        report.merge(check_source(
-            source, path=path.as_posix(), config=config, select=select
+        file_report, tree, suppressions = _check_file(
+            source, posix, config, rules
+        )
+        report.merge(file_report)
+        if graph:
+            sources[posix] = source
+            if tree is not None:
+                trees[posix] = tree
+            suppression_map[posix] = suppressions
+    if graph:
+        report.merge(_run_project_rules(
+            rules, sources, trees, suppression_map, config, cache=cache
         ))
     report.sort()
     return report
 
 
-__all__ = ["CheckReport", "check_paths", "check_source", "iter_python_files"]
+__all__ = [
+    "CheckReport",
+    "changed_python_files",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+]

@@ -6,13 +6,19 @@ A suppression names one or more rule ids (or families, or ``all``) and
 it is safe.  Placement:
 
 * a trailing comment suppresses findings on its own line;
-* a comment alone on a line suppresses findings on the next line.
+* a comment alone on a line suppresses the *statement* that follows --
+  the whole statement, through decorator lines and parenthesized
+  continuations, not just the next physical line.  For compound
+  statements (``def``, ``if``, ``with``, ...) coverage stops at the end
+  of the header: the body keeps its own discipline.
 
 Multiple ids are comma-separated: ``# repro: allow[mask64,api-misuse] why``.
 """
 
 from __future__ import annotations
 
+import ast
+import bisect
 import io
 import re
 import tokenize
@@ -24,6 +30,12 @@ _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*allow\[(?P<ids>[A-Za-z0-9_,\-\s]*)\]\s*(?P<reason>.*)"
 )
 
+_COMPOUND = (
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.Try, ast.Match,
+)
+
 
 @dataclass(frozen=True)
 class Suppression:
@@ -33,17 +45,47 @@ class Suppression:
     col: int
     rule_ids: tuple[str, ...]
     reason: str
-    #: Line whose findings this suppression covers.
+    #: First line whose findings this suppression covers.
     target_line: int
+    #: Last covered line (inclusive); equals ``target_line`` for
+    #: trailing comments, spans the anchored statement otherwise.
+    target_end: int
 
     def covers(self, finding: Finding) -> bool:
-        if finding.line != self.target_line:
+        if not self.target_line <= finding.line <= self.target_end:
             return False
         return (
             "all" in self.rule_ids
             or finding.rule_id in self.rule_ids
             or finding.family in self.rule_ids
         )
+
+
+def _statement_spans(tree: ast.Module) -> "list[tuple[int, int]]":
+    """``(start, end)`` line spans for every statement, sorted by start.
+
+    ``start`` includes decorator lines; ``end`` is the header end for
+    compound statements (the line before the first body statement) and
+    the full extent for simple ones.
+    """
+    spans: "list[tuple[int, int]]" = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for decorator in getattr(node, "decorator_list", []):
+            start = min(start, decorator.lineno)
+        if isinstance(node, _COMPOUND):
+            body = getattr(node, "body", [])
+            if body and body[0].lineno > node.lineno:
+                end = body[0].lineno - 1
+            else:
+                end = node.lineno  # one-liner: ``if x: y``
+        else:
+            end = getattr(node, "end_lineno", None) or node.lineno
+        spans.append((start, end))
+    spans.sort()
+    return spans
 
 
 def extract_comments(source: str) -> list[tuple[int, int, str]]:
@@ -64,15 +106,20 @@ def parse_suppressions(
     source: str,
     comments: "list[tuple[int, int, str]] | None" = None,
     path: str = "<string>",
+    tree: "ast.Module | None" = None,
 ) -> tuple[list[Suppression], list[Finding]]:
     """Parse ``allow`` comments; returns ``(suppressions, problems)``.
 
     ``problems`` holds ``bad-suppression`` findings for comments with an
-    empty id list or a missing reason.
+    empty id list or a missing reason.  With ``tree``, standalone
+    comments anchor to the whole following statement; without it they
+    fall back to covering only the next physical line.
     """
     if comments is None:
         comments = extract_comments(source)
     lines = source.splitlines()
+    spans = _statement_spans(tree) if tree is not None else []
+    starts = [span[0] for span in spans]
     suppressions: list[Suppression] = []
     problems: list[Finding] = []
     for line, col, text in comments:
@@ -87,7 +134,13 @@ def parse_suppressions(
         standalone = (
             line - 1 < len(lines) and lines[line - 1].lstrip().startswith("#")
         )
-        target = line + 1 if standalone else line
+        if standalone:
+            target, target_end = line + 1, line + 1
+            at = bisect.bisect_right(starts, line)
+            if at < len(spans):
+                target, target_end = spans[at]
+        else:
+            target = target_end = line
         if not ids:
             problems.append(Finding(
                 path=path, line=line, col=col,
@@ -109,7 +162,7 @@ def parse_suppressions(
             continue
         suppressions.append(Suppression(
             line=line, col=col, rule_ids=ids, reason=reason,
-            target_line=target,
+            target_line=target, target_end=target_end,
         ))
     return suppressions, problems
 

@@ -511,12 +511,20 @@ def cmd_clifford(args) -> int:
 
 
 def cmd_check(args) -> int:
-    from repro.checks import all_rules, check_paths, render_json, render_text
+    from repro.checks import (
+        all_rules,
+        changed_python_files,
+        check_paths,
+        render_json,
+        render_sarif,
+        render_text,
+    )
     from repro.checks.registry import select_rules
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id:<24} [{rule.family}] {rule.description}")
+            marker = " (graph)" if rule.project else ""
+            print(f"{rule.id:<24} [{rule.family}] {rule.description}{marker}")
         return 0
     select = tuple(args.select) if args.select else None
     try:
@@ -524,12 +532,65 @@ def cmd_check(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = check_paths(args.paths, select=select)
-    rendered = (
-        render_json(report) if args.format == "json" else render_text(report)
-    )
+    paths = list(args.paths)
+    if args.changed:
+        changed = changed_python_files()
+        if changed is None:
+            print(
+                "warning: cannot determine changed files from git; "
+                "checking the full tree",
+                file=sys.stderr,
+            )
+        else:
+            from repro.checks.runner import iter_python_files
+
+            requested = {p.resolve() for p in iter_python_files(paths)}
+            paths = [p for p in changed if p.resolve() in requested]
+            if not paths:
+                print("ok: no changed python files under the given paths")
+                return 0
+    cache = None
+    if args.graph:
+        from repro.checks.graph.cache import IndexCache, default_cache_dir
+
+        cache_dir = args.cache_dir or default_cache_dir()
+        cache = IndexCache(cache_dir) if cache_dir else None
+    report = check_paths(paths, select=select, graph=args.graph, cache=cache)
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = render_text(report)
     print(rendered)
     return 0 if report.ok else 1
+
+
+def cmd_arch(args) -> int:
+    from repro.checks import load_config
+    from repro.checks.graph import emit
+    from repro.checks.graph.cache import IndexCache, default_cache_dir
+    from repro.checks.graph.project import build_project
+    from repro.checks.runner import iter_python_files
+
+    config = load_config()
+    cache_dir = args.cache_dir or default_cache_dir()
+    cache = IndexCache(cache_dir) if cache_dir else None
+    sources = []
+    for path in iter_python_files(args.paths):
+        try:
+            sources.append((path.as_posix(), path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError):
+            continue
+    project = build_project(sources, config, cache=cache)
+    renderers = {
+        ("imports", "dot"): emit.import_graph_dot,
+        ("imports", "json"): emit.import_graph_json,
+        ("locks", "dot"): emit.lock_graph_dot,
+        ("locks", "json"): emit.lock_graph_json,
+    }
+    print(renderers[(args.what, args.format)](project.index).rstrip("\n"))
+    return 0
 
 
 def cmd_info(args) -> int:
@@ -918,7 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to check (default: src)",
     )
     p_check.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     p_check.add_argument(
@@ -928,7 +989,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
+    p_check.add_argument(
+        "--graph", action="store_true",
+        help="add the whole-program pass (lock-order-cycle, "
+        "cross-unmasked-op, layer-violation)",
+    )
+    p_check.add_argument(
+        "--changed", action="store_true",
+        help="only check .py files changed since merge-base with "
+        "origin/main (falls back to the full tree without git)",
+    )
+    p_check.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="per-file index cache directory for --graph "
+        "(default: $REPRO_CHECKS_CACHE when set, else no cache)",
+    )
     p_check.set_defaults(func=cmd_check)
+
+    p_arch = sub.add_parser(
+        "arch", help="dump whole-program import/lock graphs (DOT or JSON)"
+    )
+    p_arch.add_argument(
+        "what", choices=("imports", "locks"),
+        help="which graph to emit",
+    )
+    p_arch.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to index (default: src)",
+    )
+    p_arch.add_argument(
+        "--format", choices=("dot", "json"), default="dot",
+        help="output format (default: dot)",
+    )
+    p_arch.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="per-file index cache directory "
+        "(default: $REPRO_CHECKS_CACHE when set, else no cache)",
+    )
+    p_arch.set_defaults(func=cmd_arch)
 
     p_db = sub.add_parser(
         "db", help="manage on-disk database stores (.rdb / legacy .npz)"

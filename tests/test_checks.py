@@ -571,6 +571,69 @@ class TestSuppressions:
         )
         assert [f.rule_id for f in report.findings] == ["unmasked-op"]
 
+    def test_standalone_covers_parenthesized_continuation(self):
+        # The finding lands on a continuation line of the statement, not
+        # the line right after the comment; the suppression must still
+        # cover it because it anchors to the whole statement.
+        report = check_source(
+            "def f(word):\n"
+            "    # repro: allow[unmasked-op] wraparound handled by caller\n"
+            "    result = (\n"
+            "        word\n"
+            "        << 4\n"
+            "    )\n"
+            "    return result\n",
+            path=CORE,
+        )
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["unmasked-op"]
+
+    def test_standalone_covers_through_decorators(self):
+        report = check_source(
+            "import functools\n"
+            "\n"
+            "# repro: allow[mutable-default] shared default is intentional\n"
+            "@functools.lru_cache\n"
+            "def f(items=[]):\n"
+            "    return items\n",
+            path=CORE,
+        )
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["mutable-default"]
+
+    def test_consecutive_standalone_comments_share_a_target(self):
+        report = check_source(
+            "import random\n"
+            "\n"
+            "def f(word):\n"
+            "    # repro: allow[unmasked-op] wraparound handled downstream\n"
+            "    # repro: allow[nondeterminism] jitter is intentional\n"
+            "    return word << random.getrandbits(2)\n",
+            path=CORE,
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_standalone_does_not_cover_compound_body(self):
+        # Anchoring stops at the header of a compound statement: the
+        # body keeps its own discipline.
+        report = check_source(
+            "# repro: allow[unmasked-op] header only\n"
+            "def f(word):\n"
+            "    return word << 4\n",
+            path=CORE,
+        )
+        assert [f.rule_id for f in report.findings] == ["unmasked-op"]
+
+    def test_trailing_comment_stays_line_scoped(self):
+        report = check_source(
+            "def f(word):\n"
+            "    x = 1  # repro: allow[unmasked-op] wrong line\n"
+            "    return word << 4\n",
+            path=CORE,
+        )
+        assert [f.rule_id for f in report.findings] == ["unmasked-op"]
+
 
 # ---------------------------------------------------------------------------
 # Registry / selection
@@ -592,6 +655,7 @@ class TestRegistry:
             "mixed-lock-mutation",
             "blocking-call-under-lock",
             "unbounded-wait",
+            "lock-order-cycle",
         }
 
     def test_select_unknown_raises(self):
