@@ -51,6 +51,7 @@ def extension_search(
     seeds: "list[int]",
     n_wires: int,
     max_candidates: "int | None" = None,
+    cancel=None,
 ) -> HardSearchResult:
     """Extend seed functions by one gate at each end, keeping the hardest.
 
@@ -58,6 +59,10 @@ def extension_search(
     :class:`SizeLimitExceededError` beyond its bound.  Seeds should be
     functions of the largest size already in hand (the paper used its 13-
     and 14-gate circuits).
+
+    ``cancel`` is an optional zero-argument cooperative checkpoint run
+    before each candidate's (expensive) ``size_of`` query; it may abort
+    the search by raising, and whatever it raises propagates untouched.
     """
     library = [g.to_word(n_wires) for g in all_gates(n_wires)]
     best_size = -1
@@ -70,6 +75,8 @@ def extension_search(
                 packed.compose(seed, gate_word, n_wires),  # gate appended
                 packed.compose(gate_word, seed, n_wires),  # gate prepended
             ):
+                if cancel is not None:
+                    cancel()
                 examined += 1
                 try:
                     size = search_engine.size_of(candidate)

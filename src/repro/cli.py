@@ -145,13 +145,14 @@ def cmd_engines(args) -> int:
 
     print(
         f"{'name':<10} {'guarantee':<10} {'metric':<7} {'spec':<12} "
-        f"{'served':<7} reach"
+        f"{'served':<7} {'cancel':<7} reach"
     )
     for name in engine_names():
         caps = engine_capabilities(name)
         print(
             f"{name:<10} {caps.guarantee:<10} {caps.metric:<7} "
             f"{caps.spec_kind:<12} {'yes' if caps.servable else 'no':<7} "
+            f"{'yes' if caps.cancellable else 'no':<7} "
             f"{caps.reach}"
         )
         if args.verbose:
@@ -258,7 +259,13 @@ def cmd_query(args) -> int:
                     )
                     tag = result["source"]
                     if result.get("guarantee") == "upper_bound":
-                        tag += f", upper bound ({result.get('degraded_reason')})"
+                        # Batched-path degradation reports the reason at
+                        # the top level; engine-routed results (e.g. a
+                        # deadline-degraded race) carry it in extra.
+                        reason = result.get("degraded_reason") or result.get(
+                            "extra", {}
+                        ).get("degraded_reason")
+                        tag += f", upper bound ({reason})"
                     print(
                         f"{spec} -> {result['size']} gates "
                         f"[{tag}]: {result['circuit']}"

@@ -171,6 +171,10 @@ class EngineCapabilities:
         max_wires: Largest width the engine accepts (0 = unbounded).
         reach: Human description of coverage limits.
         servable: Whether the daemon will route queries to this engine.
+        cancellable: Whether the engine honors a cooperative
+            cancellation checkpoint passed as ``options["cancel"]``
+            (see :mod:`repro.service.tasks`); the racing engine only
+            cancels lanes whose engines declare this.
     """
 
     guarantee: str
@@ -179,6 +183,7 @@ class EngineCapabilities:
     max_wires: int = 4
     reach: str = ""
     servable: bool = False
+    cancellable: bool = False
 
 
 class Engine:

@@ -160,22 +160,34 @@ class SatEngine(Engine):
         self,
         max_gates: int = 8,
         conflict_budget: "int | None" = None,
+        time_budget: "float | None" = None,
     ) -> None:
         self.max_gates = max_gates
         self.conflict_budget = conflict_budget
+        self.time_budget = time_budget
         self.capabilities = EngineCapabilities(
             guarantee=GUARANTEE_OPTIMAL,
             max_wires=4,
             reach=f"optimal size <= {max_gates} (wall time grows steeply)",
+            cancellable=True,
         )
 
     def synthesize(self, request: SynthesisRequest) -> SynthesisResult:
         perm = request.permutation(4)
         started = time.perf_counter()
+        # Per-request budgets override the constructor defaults: the
+        # daemon propagates a request's remaining ``deadline_ms`` as
+        # ``time_budget`` and the racing engine threads a cancellation
+        # checkpoint as ``cancel``, so a served SAT solve never runs
+        # unbounded.
+        time_budget = request.options.get("time_budget", self.time_budget)
+        cancel = request.options.get("cancel")
         outcome = sat_synthesize(
             perm,
             max_gates=self.max_gates,
             conflict_budget_per_depth=self.conflict_budget,
+            time_budget=time_budget,
+            cancel=cancel,
         )
         seconds = time.perf_counter() - started
         return SynthesisResult.from_circuit(
@@ -202,10 +214,16 @@ def make_heuristic(variant: str = "best") -> HeuristicEngine:
 
 
 def make_sat(
-    max_gates: int = 8, conflict_budget: "int | None" = None
+    max_gates: int = 8,
+    conflict_budget: "int | None" = None,
+    time_budget: "float | None" = None,
 ) -> SatEngine:
     """Registry factory for the ``sat`` engine."""
-    return SatEngine(max_gates=max_gates, conflict_budget=conflict_budget)
+    return SatEngine(
+        max_gates=max_gates,
+        conflict_budget=conflict_budget,
+        time_budget=time_budget,
+    )
 
 
 __all__ = [

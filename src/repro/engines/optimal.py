@@ -67,6 +67,7 @@ class OptimalEngine(Engine):
             max_wires=4,
             reach=f"optimal size <= L = {self.impl.max_size}",
             servable=True,
+            cancellable=True,
         )
 
     def prepare(self) -> "OptimalEngine":
@@ -80,8 +81,11 @@ class OptimalEngine(Engine):
     def synthesize(self, request: SynthesisRequest) -> SynthesisResult:
         perm = request.permutation(self.impl.n_wires)
         started = time.perf_counter()
+        # The racing engine threads a cooperative checkpoint through
+        # ``options["cancel"]``; the scan calls it between A_i lists.
+        cancel = request.options.get("cancel")
         with trace("engine.synthesize", engine=self.name):
-            outcome = self.impl.search(perm)
+            outcome = self.impl.search(perm, cancel=cancel)
         seconds = time.perf_counter() - started
         return SynthesisResult.from_circuit(
             self.name,

@@ -137,6 +137,11 @@ register_engine(
     "portfolio", "repro.engines.portfolio", "make_engine",
     "MMD upper bound, then optimal search, then SAT; reports the tier",
 )
+register_engine(
+    "race", "repro.engines.racing", "make_engine",
+    "races optimal scan, SAT, and MMD as cancellable lanes; first proof "
+    "wins, losers are preempted",
+)
 
 
 __all__ = [

@@ -92,6 +92,22 @@ class WorkerPoolError(ServiceError):
     the batch before letting this escape to the dispatcher."""
 
 
+class WorkCancelledError(ServiceError):
+    """Raised at a cooperative cancellation checkpoint when the work
+    item's :class:`repro.service.tasks.CancelToken` has been cancelled
+    (deadline expiry, breaker trip, a race already won, or shutdown).
+
+    Carries the cancellation ``reason`` so the layer that unwinds can
+    tell a blown deadline from a lost race.  Lives in the foundation
+    layer so the synth/analysis scan loops and the engines can raise or
+    catch it without importing the service layer.
+    """
+
+    def __init__(self, message: str, reason: str = "cancelled") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class UnsatisfiableError(ReproError):
     """Raised by the SAT subsystem when a formula is proven unsatisfiable
     and the caller asked for a model."""

@@ -5,9 +5,10 @@ Two tiers:
 * ``quick`` -- the CI gate: the paper's Section 3.3 micro-ops (scalar
   and vectorized), hash-table probing, a small BFS build, database
   store cold starts (``.npz`` load-and-rebuild vs ``.rdb`` zero-copy
-  mmap) with mapped probing, and one query per search path (database
-  hit / list scan / exhausted scan).  A few seconds end to end at
-  ``REPRO_BENCH_K=5``.
+  mmap) with mapped probing, one query per search path (database
+  hit / list scan / exhausted scan), the same hard query under the
+  racing engine, and the cancel round-trip latency of a preempted
+  scan.  A few seconds end to end at ``REPRO_BENCH_K=5``.
 * ``full``  -- everything in quick plus the n=4 database build at the
   configured depth, a Table-3-style random batch, and a service-layer
   cached batch.  Minutes, for local before/after measurements.
@@ -60,6 +61,7 @@ class BenchContext:
         self.scale = scale
         self.cache_dir = cache_dir
         self._engine: Any = None
+        self._race_engine: Any = None
         self._service: Any = None
         self._store_paths: "tuple[Path, Path] | None" = None
         self._store_tmp: "str | None" = None
@@ -80,6 +82,16 @@ class BenchContext:
                 cache_dir=self.cache_dir if self.cache_dir else False,
             ).prepare()
         return self._engine
+
+    def race_engine(self) -> Any:
+        """The racing engine sharing the warm optimal engine's tables."""
+        if self._race_engine is None:
+            from repro.engines import create_engine
+
+            self._race_engine = create_engine(
+                "race", handle=self.optimal_engine().handle()
+            )
+        return self._race_engine
 
     def service(self) -> Any:
         """A started in-process synthesis service over the warm engine."""
@@ -137,6 +149,7 @@ class BenchContext:
             shutil.rmtree(self._store_tmp, ignore_errors=True)
             self._store_tmp = None
         self._store_paths = None
+        self._race_engine = None
         self._engine = None
 
     # ------------------------------------------------------------------
@@ -342,6 +355,73 @@ def _setup_search_exhausted(ctx: BenchContext) -> Callable[[], Any]:
     return lambda: engine.prove_lower_bound(word)
 
 
+def _setup_race_hard_query(ctx: BenchContext) -> Callable[[], Any]:
+    """The scan-forcing hard word solved by the racing engine.
+
+    Measures the full race cycle -- lane dispatch, the winning proof,
+    and loser preemption -- so it is directly comparable against
+    ``search.scan`` (the same word on the bare optimal engine).
+    """
+    from repro.core.permutation import Permutation
+    from repro.engines import SynthesisRequest
+
+    engine = ctx.race_engine()
+    word = ctx.hard_word()
+    request = SynthesisRequest(spec=Permutation(word, 4), n_wires=4)
+
+    def run() -> str:
+        result = engine.synthesize(request)
+        if result.guarantee != "optimal":
+            raise BenchDataError(
+                f"race returned {result.guarantee!r} for the hard word"
+            )
+        return result.extra["winner"]
+
+    return run
+
+
+def _setup_cancel_latency(ctx: BenchContext) -> Callable[[], Any]:
+    """Round trip of preempting an in-flight hard scan.
+
+    Starts the scan-forcing hard word on a worker thread as a
+    cancellable work item, requests cooperative cancellation, and
+    times until the item settles terminally -- the latency a deadline
+    or breaker trip pays to reclaim a hard-path worker.
+    """
+    import threading
+
+    from repro.core.permutation import Permutation
+    from repro.engines import SynthesisRequest
+    from repro.service.tasks import CANCELLED, DONE, WorkItem
+
+    engine = ctx.optimal_engine()
+    word = ctx.hard_word()
+    spec = Permutation(word, 4)
+
+    def run() -> str:
+        item = WorkItem(
+            "bench.scan",
+            lambda token: engine.synthesize(
+                SynthesisRequest(
+                    spec=spec,
+                    n_wires=4,
+                    options={"cancel": token.checkpoint},
+                )
+            ),
+        )
+        thread = threading.Thread(target=item.run, daemon=True)
+        thread.start()
+        item.cancel("bench")
+        thread.join(timeout=30.0)
+        if item.state not in (CANCELLED, DONE):
+            raise BenchDataError(
+                f"cancelled scan settled in {item.state!r}, not terminally"
+            )
+        return item.state
+
+    return run
+
+
 def _setup_search_random_batch(ctx: BenchContext) -> Callable[[], Any]:
     from repro.rng.sampling import PermutationSampler
 
@@ -415,6 +495,8 @@ _QUICK_OPS: tuple[BenchOp, ...] = (
     BenchOp("search.db_hit", _setup_search_db_hit),
     BenchOp("search.scan", _setup_search_scan),
     BenchOp("search.exhausted", _setup_search_exhausted, target_time=0.5),
+    BenchOp("race.hard_query", _setup_race_hard_query, target_time=0.5),
+    BenchOp("task.cancel_latency", _setup_cancel_latency),
 )
 
 _FULL_OPS: tuple[BenchOp, ...] = _QUICK_OPS + (

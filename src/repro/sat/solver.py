@@ -18,6 +18,7 @@ that makes this approach uncompetitive with search-and-lookup.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 
@@ -32,6 +33,9 @@ class SatResult:
         conflicts: Total conflicts encountered.
         decisions: Total decisions made.
         propagations: Total literals propagated.
+        exhausted: True when the run stopped on a conflict or time
+            budget rather than a proof -- ``satisfiable=False`` is then
+            *inconclusive*, not UNSAT.
     """
 
     satisfiable: bool
@@ -39,6 +43,7 @@ class SatResult:
     conflicts: int
     decisions: int
     propagations: int
+    exhausted: bool = False
 
 
 _UNASSIGNED = 0
@@ -68,6 +73,10 @@ class Solver:
         self.decisions = 0
         self.propagations = 0
         self.ok = True
+        # Budget/cancellation state, rebound by each solve() call.
+        self._time_limit: "float | None" = None
+        self._clock = time.monotonic
+        self._cancel = None
 
         self.clauses: list[list[int]] = []
         # watches[lit] = clause indices watching lit; literal encoding:
@@ -250,11 +259,29 @@ class Solver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, conflict_budget: "int | None" = None) -> SatResult:
-        """Run the solver; ``conflict_budget`` bounds total conflicts
-        (None = unlimited).  A budget overrun returns UNSAT=False with
-        ``model=None`` and can be distinguished by ``conflicts``.
+    def solve(
+        self,
+        conflict_budget: "int | None" = None,
+        time_budget: "float | None" = None,
+        cancel=None,
+        clock=time.monotonic,
+    ) -> SatResult:
+        """Run the solver.
+
+        ``conflict_budget`` bounds total conflicts, ``time_budget``
+        bounds wall-clock seconds (both None = unlimited); overrunning
+        either returns an *inconclusive* result with
+        ``satisfiable=False`` and ``exhausted=True``.  ``cancel`` is an
+        optional zero-argument cooperative checkpoint called once per
+        conflict and restart; whatever it raises propagates untouched
+        (the racing engine passes a ``CancelToken.checkpoint`` here so
+        a losing SAT lane stops within one conflict of being told to).
         """
+        self._time_limit = (
+            clock() + time_budget if time_budget is not None else None
+        )
+        self._clock = clock
+        self._cancel = cancel
         if not self.ok:
             return SatResult(False, None, self.conflicts, self.decisions, 0)
         conflict = self._propagate()
@@ -270,10 +297,26 @@ class Solver:
             if outcome is not None:
                 return outcome
             luby_index += 1
-            if conflict_budget is not None and self.conflicts >= conflict_budget:
-                return SatResult(
-                    False, None, self.conflicts, self.decisions, self.propagations
-                )
+            if self._out_of_budget(conflict_budget):
+                return self._exhausted_result()
+
+    def _out_of_budget(self, conflict_budget) -> bool:
+        if conflict_budget is not None and self.conflicts >= conflict_budget:
+            return True
+        return (
+            self._time_limit is not None
+            and self._clock() >= self._time_limit
+        )
+
+    def _exhausted_result(self) -> SatResult:
+        return SatResult(
+            False,
+            None,
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            exhausted=True,
+        )
 
     def _search(self, restart_limit: int, conflict_budget) -> "SatResult | None":
         local_conflicts = 0
@@ -282,6 +325,8 @@ class Solver:
             if conflict is not None:
                 self.conflicts += 1
                 local_conflicts += 1
+                if self._cancel is not None:
+                    self._cancel()
                 if len(self.trail_lim) == 0:
                     return SatResult(
                         False,
@@ -301,14 +346,8 @@ class Solver:
                     self.watches[self._widx(learnt[1])].append(index)
                     self._enqueue(learnt[0], learnt)
                 self.var_inc /= self.var_decay
-                if conflict_budget is not None and self.conflicts >= conflict_budget:
-                    return SatResult(
-                        False,
-                        None,
-                        self.conflicts,
-                        self.decisions,
-                        self.propagations,
-                    )
+                if self._out_of_budget(conflict_budget):
+                    return self._exhausted_result()
                 continue
             if local_conflicts >= restart_limit:
                 self._cancel_until(0)
@@ -340,6 +379,13 @@ def _luby(index: int) -> int:
     return 1 << (k - 1)
 
 
-def solve_cnf(cnf, conflict_budget: "int | None" = None) -> SatResult:
+def solve_cnf(
+    cnf,
+    conflict_budget: "int | None" = None,
+    time_budget: "float | None" = None,
+    cancel=None,
+) -> SatResult:
     """Convenience wrapper: solve a :class:`repro.sat.cnf.CNF`."""
-    return Solver(cnf.n_vars, cnf.clauses).solve(conflict_budget)
+    return Solver(cnf.n_vars, cnf.clauses).solve(
+        conflict_budget, time_budget=time_budget, cancel=cancel
+    )

@@ -32,11 +32,13 @@ from repro.service.resilience import (
     RetryPolicy,
     WorkerSupervisor,
 )
-from repro.service.workers import HardQueryPool, HardResult
+from repro.service.tasks import CancelToken, TaskRegistry, WorkItem
+from repro.service.workers import HardQueryPool, HardResult, WorkPreempted
 
 __all__ = [
     "BatchQueue",
     "CacheHit",
+    "CancelToken",
     "CircuitBreaker",
     "Counter",
     "Deadline",
@@ -56,6 +58,9 @@ __all__ = [
     "ServiceConfig",
     "SynthesisService",
     "TCPDaemon",
+    "TaskRegistry",
+    "WorkItem",
+    "WorkPreempted",
     "WorkerSupervisor",
     "serve_stdio",
 ]

@@ -30,7 +30,10 @@ class PendingRequest:
     dispatcher fulfills it with :meth:`resolve`.
     """
 
-    __slots__ = ("request", "enqueued_at", "response", "deadline", "_event")
+    __slots__ = (
+        "request", "enqueued_at", "response", "deadline", "work_item",
+        "_event",
+    )
 
     def __init__(self, request, deadline=None) -> None:
         self.request = request
@@ -39,6 +42,11 @@ class PendingRequest:
         #: Optional :class:`repro.service.resilience.Deadline`, created
         #: at accept time so queue time counts against the budget.
         self.deadline = deadline
+        #: The :class:`repro.service.tasks.WorkItem` the dispatcher
+        #: attached when this request went to the hard path -- the
+        #: handle through which an abandoning connection thread (or
+        #: shutdown) can preempt the scan instead of orphaning it.
+        self.work_item = None
         self._event = threading.Event()
 
     def resolve(self, response: dict) -> None:

@@ -79,6 +79,7 @@ from repro.service.resilience import (
     ResilienceConfig,
     WorkerSupervisor,
 )
+from repro.service.tasks import CANCELLED, DEGRADED, TaskRegistry
 from repro.service.workers import HardQueryPool
 from repro.synth.search import peel_minimal_circuit
 from repro.synth.synthesizer import SynthesisHandle
@@ -129,9 +130,14 @@ class SynthesisService:
         )
         self.resilience = ResilienceConfig.from_extra(self.config.extra)
         self.faults = FaultInjector.from_extra(self.config.extra)
+        # Every hard unit of work (scan, SAT solve, race lane) runs as a
+        # cancellable WorkItem tracked here; a breaker trip preempts all
+        # of them instead of letting abandoned work burn on.
+        self.tasks = TaskRegistry(metrics=self.metrics)
         self.breaker = CircuitBreaker(
             failure_threshold=self.resilience.breaker_failure_threshold,
             cooldown=self.resilience.breaker_cooldown,
+            on_trip=lambda: self.tasks.cancel_in_flight("breaker_open"),
         )
         self.supervisor: "WorkerSupervisor | None" = None
         self._engines: dict[str, Engine] = {}
@@ -234,6 +240,12 @@ class SynthesisService:
                 pass
             return
         self.queue.close()
+        # Preempt in-flight hard work: cancelled items resolve their
+        # requests as degraded answers (counted in stats), so the
+        # dispatcher drains in bounded time instead of finishing
+        # arbitrarily long scans.  Requests still queued drain through
+        # the shutdown-aware phase 4 (degraded, never scanned).
+        self.tasks.cancel_in_flight("shutdown")
         if self._dispatcher is not None:
             while self._dispatcher.is_alive():
                 self._dispatcher.join(timeout=1.0)
@@ -312,7 +324,7 @@ class SynthesisService:
         engine_name = request.engine or DEFAULT_ENGINE
         self.metrics.counter(f"engine_requests_{engine_name}").inc()
         if engine_name != DEFAULT_ENGINE:
-            return self._engine_submit(request, engine_name)
+            return self._engine_submit(request, engine_name, deadline)
         # Park on the queue and wait for the dispatcher.  The wait is
         # bounded by ``request_timeout`` -- the server-side backstop that
         # guarantees a connection thread can never hang forever even if
@@ -325,6 +337,11 @@ class SynthesisService:
         self.metrics.gauge("queue_depth").set(self.queue.depth)
         response = pending.wait(self.resilience.request_timeout)
         if response is None:
+            # The connection thread is abandoning the request -- preempt
+            # any hard work still attached to it so the pool does not
+            # keep scanning for an answer nobody will read.
+            if pending.work_item is not None:
+                pending.work_item.cancel("abandoned")
             self.metrics.counter("responses_timeout").inc()
             return self._error_response(
                 request.id,
@@ -348,6 +365,19 @@ class SynthesisService:
                     self.config.extra.get("engine_options", {}).get(name, {})
                 )
                 options.setdefault("n_wires", self.handle.n_wires)
+                # Factories that declare them (the racing engine) get
+                # the service's work-item registry and warm database
+                # handle; ``create_engine`` drops both for the rest.
+                options.setdefault("tasks", self.tasks)
+                options.setdefault("handle", self.handle)
+                # A served race must never outlive the hard-path wall
+                # clock: without a client deadline an out-of-reach
+                # function would otherwise keep the SAT lane (and the
+                # per-engine lock) busy indefinitely.  Requests carrying
+                # ``deadline_ms`` still take the tighter budget.
+                options.setdefault(
+                    "time_budget", self.resilience.hard_timeout
+                )
                 engine = create_engine(name, **options)
                 if not engine.capabilities.servable:
                     raise SynthesisError(
@@ -357,7 +387,12 @@ class SynthesisService:
                 self._engine_locks[name] = threading.Lock()
             return engine
 
-    def _engine_submit(self, request: "protocol.Request", name: str) -> str:
+    def _engine_submit(
+        self,
+        request: "protocol.Request",
+        name: str,
+        deadline: "Deadline | None" = None,
+    ) -> str:
         """Answer one synth/size request with a non-default engine."""
         if self.stopping:
             return self._error_response(
@@ -391,12 +426,20 @@ class SynthesisService:
             payload, source = json.loads(hit.circuit), "cache"
         else:
             started = time.perf_counter()
+            # The request's remaining budget rides along as options: the
+            # SAT engine turns ``time_budget`` into a solver wall-clock
+            # bound, the racing engine derives its lane deadline from
+            # ``deadline``.  Engines that read neither are unaffected.
+            options: dict = {}
+            if deadline is not None:
+                options["time_budget"] = max(0.0, deadline.remaining())
+                options["deadline"] = deadline
             try:
                 with self._engine_locks[name], trace_span(
                     "service.engine", engine=name
                 ):
                     result = engine.synthesize(
-                        SynthesisRequest(spec=perm, n_wires=n)
+                        SynthesisRequest(spec=perm, n_wires=n, options=options)
                     )
             except Exception as exc:
                 return self._error_response(request.id, exc)
@@ -404,14 +447,21 @@ class SynthesisService:
                 time.perf_counter() - started
             )
             payload, source = result.to_wire(), "engine"
-            self.cache.store_circuit(
-                n,
-                word,
-                word,
-                result.size,
-                json.dumps(payload, sort_keys=True),
-                engine=name,
-            )
+            if result.guarantee == GUARANTEE_UPPER_BOUND:
+                # A degraded (bound-only) answer -- a race that hit its
+                # deadline before any lane proved optimality -- is never
+                # cached: a later uncontended query deserves the exact
+                # answer.
+                self.metrics.counter("responses_degraded").inc()
+            else:
+                self.cache.store_circuit(
+                    n,
+                    word,
+                    word,
+                    result.size,
+                    json.dumps(payload, sort_keys=True),
+                    engine=name,
+                )
         self.metrics.counter("responses_ok").inc()
         body = dict(payload)
         if request.op == "size":
@@ -451,6 +501,7 @@ class SynthesisService:
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
             "trace": self._trace_stats(),
+            "tasks": self.tasks.snapshot(),
             "resilience": {
                 "breaker": self.breaker.snapshot(),
                 "pool": (
@@ -524,6 +575,7 @@ class SynthesisService:
             "breaker": breaker,
             "pool": pool,
             "cache": cache,
+            "tasks": self.tasks.snapshot(),
             "database": self._database_info(),
         }
         if self.faults is not None:
@@ -642,6 +694,12 @@ class SynthesisService:
         # the fallback engine (never an error, never a hung connection).
         if not hard:
             return
+        if self.stopping:
+            # Draining after shutdown: queued requests still get valid
+            # answers, but no new multi-second scan starts.
+            for pending, word, _ in hard:
+                self._resolve_degraded(pending, word, "shutdown")
+            return
         estimate = (
             self.metrics.histogram("scan_seconds").percentile(0.9) or 0.0
         )
@@ -664,26 +722,56 @@ class SynthesisService:
             return
         scan_started = time.perf_counter()
         self.metrics.counter("hard_queries").inc(len(scan_items))
+        # Each hard query becomes one cancellable WorkItem.  The token
+        # carries the request's deadline, so expiry mid-scan preempts
+        # the unit (cooperatively inline, process-level in the pool)
+        # instead of merely being noticed afterwards; breaker trips,
+        # shutdown, and abandoning connection threads reach the same
+        # tokens through the registry / PendingRequest.work_item.
+        items = []
+        for pending, word, _ in scan_items:
+            work = self.tasks.create(
+                "scan", payload=word, deadline=pending.deadline
+            )
+            pending.work_item = work
+            items.append(work)
         try:
             with trace_span("service.scan", queries=len(scan_items)):
-                results = self.supervisor.solve_many(
-                    [w for _, w, _ in scan_items]
-                )
+                self.supervisor.solve_items(items)
         except ServiceError as exc:
             # The pool kept failing even across restarts.  The breaker
             # counts it; the requests degrade rather than error -- the
             # fallback engine runs in-process and owes nothing to the pool.
             self.breaker.record_failure()
             log.error("hard-query batch failed after restarts: %s", exc)
-            for pending, word, _ in scan_items:
+            for (pending, word, _), work in zip(scan_items, items):
+                if not work.finished:
+                    work.cancel("pool_failure", force=True)
                 self._resolve_degraded(pending, word, "pool_failure")
             return
         self.metrics.histogram("scan_seconds").observe(
             time.perf_counter() - scan_started
         )
         missed = 0
-        for (pending, word, canon), result in zip(scan_items, results):
+        for (pending, word, canon), work in zip(scan_items, items):
             request = pending.request
+            state = work.state
+            if state == CANCELLED:
+                reason = work.token.reason or "cancelled"
+                if reason == "deadline":
+                    missed += 1
+                    self.metrics.counter("deadline_misses").inc()
+                    self.breaker.record_deadline_miss()
+                self._resolve_degraded(pending, word, reason)
+                continue
+            if state == DEGRADED:
+                log.error(
+                    "hard scan for %s degraded: %s",
+                    protocol.word_to_hex(word), work.error,
+                )
+                self._resolve_degraded(pending, word, "scan_error")
+                continue
+            result = work.result
             if pending.deadline is not None and pending.deadline.expired():
                 # The scan finished but blew the budget: the exact answer
                 # still goes out (discarding computed work helps nobody),

@@ -136,6 +136,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         cooldown: float = 30.0,
         clock=time.monotonic,
+        on_trip=None,
     ) -> None:
         if failure_threshold < 1:
             raise ServiceError(
@@ -143,6 +144,7 @@ class CircuitBreaker:
             )
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        self.on_trip = on_trip
         self._clock = clock
         self._lock = threading.Lock()
         self._state = self.CLOSED
@@ -189,6 +191,7 @@ class CircuitBreaker:
         self._note_failure(deadline_miss=True)
 
     def _note_failure(self, deadline_miss: bool = False) -> None:
+        tripped = False
         with self._lock:
             if deadline_miss:
                 self._deadline_misses += 1
@@ -199,8 +202,14 @@ class CircuitBreaker:
             ):
                 if self._state != self.OPEN:
                     self._trips += 1
+                    tripped = True
                 self._state = self.OPEN
                 self._opened_at = self._clock()
+        # Invoked outside the lock: the trip hook preempts in-flight
+        # hard work (cancels the dispatcher's work items), and that path
+        # re-enters breaker snapshots from other threads.
+        if tripped and self.on_trip is not None:
+            self.on_trip()
 
     def snapshot(self) -> dict:
         """JSON-ready state for ``health``/``stats``."""
@@ -303,6 +312,45 @@ class WorkerSupervisor:
                     timeout=self.hard_timeout,
                     on_dispatch=self._on_dispatch,
                 )
+            except WorkerPoolError:
+                attempts += 1
+                if attempts > self.max_restarts:
+                    raise
+                self.restart()
+                with self._lock:
+                    self._batch_retries += 1
+                if self.metrics is not None:
+                    self.metrics.counter("hard_batch_retries").inc()
+
+    def solve_items(self, items: list) -> list:
+        """Solve a group of work items with the same restart/requeue
+        policy as :meth:`solve_many`, plus preemption:
+
+        * :class:`WorkPreempted` (every in-flight item cancelled while
+          running in worker processes) restarts the pool -- the
+          process-level kill for non-cooperative work -- and returns
+          immediately; the cancelled items are already terminal.
+        * A timeout or pool error restarts and resubmits only the items
+          that are not yet terminal, so finished work survives retries.
+        """
+        from repro.service.workers import WorkPreempted
+
+        attempts = 0
+        while True:
+            open_items = [item for item in items if not item.finished]
+            if not open_items:
+                return items
+            pool = self.pool
+            try:
+                pool.solve_items(
+                    open_items,
+                    timeout=self.hard_timeout,
+                    on_dispatch=self._on_dispatch,
+                )
+                return items
+            except WorkPreempted:
+                self.restart()
+                return items
             except WorkerPoolError:
                 attempts += 1
                 if attempts > self.max_restarts:

@@ -32,9 +32,11 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import ServiceError, SizeLimitExceededError, WorkerPoolError
+from repro.service.tasks import PENDING
 
 #: Handle inherited by fork-started workers (set in the parent just
 #: before the pool is created; visible to children copy-on-write).
@@ -116,10 +118,16 @@ def solve_word(word: int) -> HardResult:
     return solve_with_engine(engine, word)
 
 
-def solve_with_engine(engine, word: int) -> HardResult:
-    """Search ``word`` on ``engine`` and box the outcome."""
+def solve_with_engine(engine, word: int, cancel=None) -> HardResult:
+    """Search ``word`` on ``engine`` and box the outcome.
+
+    ``cancel`` is a cooperative checkpoint threaded into the list scan
+    (see :meth:`repro.synth.search.MeetInTheMiddleSearch.search`);
+    whatever it raises propagates untouched so the work-item machinery
+    can classify the abort.
+    """
     try:
-        outcome = engine.search(word)
+        outcome = engine.search(word, cancel=cancel)
     except SizeLimitExceededError as exc:
         return HardResult(
             word=word, lower_bound=exc.lower_bound, message=str(exc)
@@ -131,6 +139,14 @@ def solve_with_engine(engine, word: int) -> HardResult:
         lists_scanned=outcome.lists_scanned,
         candidates_tested=outcome.candidates_tested,
     )
+
+
+class WorkPreempted(ServiceError):
+    """Internal signal: every in-flight work item of a dispatch was
+    cancelled while running in worker processes.  Processes cannot
+    observe cooperative checkpoints across the boundary, so the
+    supervisor answers this by killing and rebuilding the pool -- the
+    process-level kill path for non-cooperative work."""
 
 
 class HardQueryPool:
@@ -240,6 +256,125 @@ class HardQueryPool:
         except Exception as exc:
             raise WorkerPoolError(f"hard-query pool failed: {exc}") from exc
 
+    def solve_items(
+        self,
+        items: list,
+        timeout: "float | None" = None,
+        on_dispatch=None,
+        poll: float = 0.02,
+    ) -> list:
+        """Solve a group of :class:`repro.service.tasks.WorkItem`\\ s
+        whose ``payload`` is the packed word.
+
+        Unlike :meth:`solve_many`, every unit is individually
+        cancellable:
+
+        * inline (``processes=0``): items run sequentially on the
+          caller's thread with the token's cooperative checkpoint
+          threaded into the scan -- a cancelled item stops within one
+          ``A_i`` list.
+        * parallel: items are submitted one task per word and the wait
+          is a bounded poll loop.  An item cancelled mid-flight is
+          detached immediately (its request degrades now; the worker's
+          wasted result is dropped).  When *every* remaining item is
+          cancelled the dispatch raises :class:`WorkPreempted` so the
+          supervisor kills the pool -- worker processes cannot observe
+          checkpoints, so preemption there is process-level.
+
+        ``timeout`` bounds the whole dispatch as before (the dead/hung
+        worker detector); exceeding it raises
+        :class:`WorkerPoolError`.  Terminal items are skipped, so the
+        supervisor can resubmit the same list after a restart.
+        """
+        open_items = [item for item in items if not item.finished]
+        if not open_items:
+            return items
+        if self._pool is None:
+            if on_dispatch is not None:
+                on_dispatch(self)
+            engine = self.handle.engine
+            for item in open_items:
+                if item.fn is None:
+                    item.fn = lambda token, w=item.payload: solve_with_engine(
+                        engine, w, cancel=token.checkpoint
+                    )
+                item.run()
+            return items
+        in_flight = []
+        for item in open_items:
+            if item.token.cancelled:
+                item.cancel(item.token.reason or "cancelled", force=True)
+                continue
+            if item.state == PENDING:
+                item.start()
+            in_flight.append(
+                (item, self._pool.apply_async(solve_word, (item.payload,)))
+            )
+        if on_dispatch is not None:
+            on_dispatch(self)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while in_flight:
+            still = []
+            progressed = False
+            for item, async_result in in_flight:
+                if async_result.ready():
+                    progressed = True
+                    self._settle(item, async_result)
+                    continue
+                still.append((item, async_result))
+            in_flight = still
+            if not in_flight:
+                break
+            cancelled = [
+                entry for entry in in_flight if entry[0].token.cancelled
+            ]
+            if len(cancelled) == len(in_flight):
+                registry = in_flight[0][0].registry
+                for item, _ in in_flight:
+                    item.cancel(item.token.reason or "cancelled", force=True)
+                if registry is not None:
+                    registry.note_forced_kill(len(in_flight))
+                raise WorkPreempted(
+                    f"all {len(in_flight)} in-flight work item(s) were "
+                    "cancelled; pool workers need a process-level kill"
+                )
+            if cancelled:
+                # Some (not all) items preempted: detach them now so
+                # their requests degrade immediately; the stragglers'
+                # worker results are dropped when they arrive.
+                for item, _ in cancelled:
+                    item.cancel(item.token.reason or "cancelled", force=True)
+                in_flight = [
+                    entry for entry in in_flight if not entry[0].finished
+                ]
+                if not in_flight:
+                    break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WorkerPoolError(
+                    f"hard-query dispatch of {len(in_flight)} work item(s) "
+                    f"exceeded its {timeout}s supervision timeout "
+                    "(worker dead or hung)"
+                )
+            if not progressed:
+                time.sleep(poll)
+        return items
+
+    @staticmethod
+    def _settle(item, async_result) -> None:
+        """Move a ready pool result into its item's terminal state."""
+        try:
+            result = async_result.get(0)
+        except Exception as exc:
+            try:
+                item.degrade(exc)
+            except ServiceError:  # force-cancelled concurrently
+                pass
+            return
+        try:
+            item.finish(result)
+        except ServiceError:  # force-cancelled concurrently
+            pass
+
     def restarted(self) -> "HardQueryPool":
         """Terminate this pool and return a fresh one with the same
         configuration (the supervisor's restart primitive)."""
@@ -304,6 +439,7 @@ class HardQueryPool:
 __all__ = [
     "HardQueryPool",
     "HardResult",
+    "WorkPreempted",
     "solve_with_engine",
     "solve_word",
 ]

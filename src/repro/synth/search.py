@@ -114,17 +114,17 @@ class MeetInTheMiddleSearch:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def minimal_circuit(self, word: int) -> Circuit:
+    def minimal_circuit(self, word: int, cancel=None) -> Circuit:
         """A provably minimal circuit for ``word``; raises
         :class:`SizeLimitExceededError` when size > L."""
-        return self.search(word).circuit
+        return self.search(word, cancel=cancel).circuit
 
-    def size_of(self, word: int) -> int:
+    def size_of(self, word: int, cancel=None) -> int:
         """Optimal size of ``word`` (without reconstructing the circuit)."""
         fast = self.db.size_of(word)
         if fast is not None:
             return fast
-        i, _v, h_size, tested = self._scan_lists(word)
+        i, _v, h_size, tested = self._scan_lists(word, cancel=cancel)
         if i is None:
             raise SizeLimitExceededError(
                 f"function requires more than {self.max_size} gates",
@@ -132,12 +132,18 @@ class MeetInTheMiddleSearch:
             )
         return i + h_size
 
-    def search(self, word: int) -> SearchOutcome:
-        """Full query returning the circuit plus search statistics."""
-        with trace("search.query"):
-            return self._search(word)
+    def search(self, word: int, cancel=None) -> SearchOutcome:
+        """Full query returning the circuit plus search statistics.
 
-    def _search(self, word: int) -> SearchOutcome:
+        ``cancel`` is an optional zero-argument cooperative checkpoint
+        (typically a bound ``CancelToken.checkpoint``): it is invoked
+        between list scans and may abort the query by raising.  The
+        scan itself never catches what it raises.
+        """
+        with trace("search.query"):
+            return self._search(word, cancel=cancel)
+
+    def _search(self, word: int, cancel=None) -> SearchOutcome:
         n = self.db.n_wires
         fast = self.db.size_of(word)
         if fast is not None:
@@ -145,7 +151,7 @@ class MeetInTheMiddleSearch:
             return SearchOutcome(
                 circuit=circuit, size=fast, lists_scanned=0, candidates_tested=0
             )
-        i, v, h_size, tested = self._scan_lists(word)
+        i, v, h_size, tested = self._scan_lists(word, cancel=cancel)
         if i is None:
             raise SizeLimitExceededError(
                 f"function requires more than {self.max_size} gates "
@@ -167,7 +173,7 @@ class MeetInTheMiddleSearch:
             candidates_tested=tested,
         )
 
-    def prove_lower_bound(self, word: int) -> int:
+    def prove_lower_bound(self, word: int, cancel=None) -> int:
         """Exhaust the search and return the proven lower bound.
 
         Returns size(word) when it is within reach, else ``L + 1`` (the
@@ -175,22 +181,29 @@ class MeetInTheMiddleSearch:
         argument for oc7).
         """
         try:
-            return self.size_of(word)
+            return self.size_of(word, cancel=cancel)
         except SizeLimitExceededError as exc:
             return exc.lower_bound
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _scan_lists(self, word: int):
+    def _scan_lists(self, word: int, cancel=None):
         """Scan A_1, A_2, ... for the smallest split; returns
         ``(i, v, h_size, candidates_tested)`` or ``(None, None, None, t)``.
+
+        ``cancel`` (when given) runs before each list is composed -- the
+        cooperative preemption point for cancellable hard work: each
+        ``A_i`` pass is one numpy call, so this is the finest boundary
+        at which the scan can stop without losing vectorization.
         """
         n = self.db.n_wires
         word_u = np.uint64(word)
         tested = 0
         with trace("search.scan"):
             for i, candidates_v in enumerate(self.lists, start=1):
+                if cancel is not None:
+                    cancel()
                 if candidates_v.shape[0] == 0:
                     continue
                 with trace("search.list", list=i):

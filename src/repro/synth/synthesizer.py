@@ -267,10 +267,15 @@ class OptimalSynthesizer:
         perm = Permutation.coerce(spec, self.n_wires)
         return self.search_engine.minimal_circuit(perm.word)
 
-    def search(self, spec) -> SearchOutcome:
-        """Synthesize and also report search statistics."""
+    def search(self, spec, cancel=None) -> SearchOutcome:
+        """Synthesize and also report search statistics.
+
+        ``cancel`` is an optional zero-argument cooperative checkpoint
+        threaded into the list scan (see
+        :meth:`repro.synth.search.MeetInTheMiddleSearch.search`).
+        """
         perm = Permutation.coerce(spec, self.n_wires)
-        return self.search_engine.search(perm.word)
+        return self.search_engine.search(perm.word, cancel=cancel)
 
     def size(self, spec) -> int:
         """The optimal gate count of ``spec`` (no circuit reconstruction)."""

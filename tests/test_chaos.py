@@ -266,3 +266,164 @@ class TestCorruptCache:
         third = ResultCache(path=cache_path)
         assert third.quarantined is None
         assert len(third) > 0
+
+
+# ----------------------------------------------------------------------
+# Non-cooperative cancellation -> process-level kill
+# ----------------------------------------------------------------------
+class TestNonCooperativeCancel:
+    """Work running inside pool processes cannot observe cooperative
+    checkpoints; cancelling all of it must escalate to killing the pool."""
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_ignored_cancel_escalates_to_pool_kill(self, handle4):
+        from repro.service import WorkerSupervisor
+        from repro.service.metrics import MetricsRegistry
+        from repro.service.tasks import CANCELLED, TaskRegistry
+        from repro.service.workers import HardQueryPool
+
+        metrics = MetricsRegistry()
+        registry = TaskRegistry(metrics=metrics)
+        pool = HardQueryPool(handle4, processes=2)
+        supervisor = WorkerSupervisor(
+            pool, hard_timeout=30.0, max_restarts=2, metrics=metrics
+        )
+        words = [
+            Permutation.coerce(HARD_SPEC, 4).word,
+            Permutation.coerce(HARD_SPEC_2, 4).word,
+        ]
+        items = [registry.create("scan", payload=w) for w in words]
+
+        class CancelAtDispatch:
+            """Injected in the fault slot: fires after the batch is in
+            the workers' hands, i.e. exactly when cooperative cancel can
+            no longer reach it."""
+
+            def kill_workers(self, _pool) -> None:
+                for item in items:
+                    item.token.cancel("breaker_open")
+
+        supervisor.faults = CancelAtDispatch()
+        old_pids = set(pool.worker_pids())
+        try:
+            supervisor.solve_items(items)
+            # Every item was preempted: terminal, counted, and the
+            # non-cooperative workers were killed with the pool.
+            assert all(item.state == CANCELLED for item in items)
+            snap = registry.snapshot()
+            assert snap["cancelled"] == 2
+            assert snap["cancelled_by_reason"] == {"breaker_open": 2}
+            assert snap["forced_kills"] == 2
+            assert snap["in_flight"] == 0
+            assert supervisor.restarts == 1
+            assert metrics.counter("pool_restarts").value == 1
+            assert metrics.counter("tasks_forced_kills").value == 2
+            # The rebuilt pool is fresh processes and still answers.
+            supervisor.faults = None
+            new_pool = supervisor.pool
+            assert set(new_pool.worker_pids()).isdisjoint(old_pids)
+            fresh = [registry.create("scan", payload=w) for w in words]
+            supervisor.solve_items(fresh)
+            assert [item.result.size for item in fresh] == [5, 5]
+        finally:
+            supervisor.close()
+
+
+# ----------------------------------------------------------------------
+# Racing engine: every lane blows the deadline
+# ----------------------------------------------------------------------
+class TestRaceAllLanesBlowDeadline:
+    def test_race_degrades_to_tagged_upper_bound_never_cached(self, handle4):
+        svc = make_service(handle4)
+        try:
+            # 1 ms cannot fit any proof lane for a size-5 function: the
+            # race must come back as a *tagged* upper bound, not an
+            # error, not an exact answer, not a hang.
+            body = submit(
+                svc, "synth", spec=HARD_SPEC, engine="race", deadline_ms=1
+            )
+            assert body["ok"], body
+            result = body["result"]
+            assert result["guarantee"] == "upper_bound"
+            assert result["extra"]["degraded_reason"] == "deadline"
+            assert result["extra"]["winner"] is None
+            circuit = Circuit.parse(result["circuit"], 4)
+            assert circuit.implements(Permutation.coerce(HARD_SPEC, 4))
+            # The preempted lanes are observable, by reason, in stats.
+            stats = svc.stats()
+            assert stats["tasks"]["cancelled_by_reason"].get("deadline", 0) >= 1
+            # Degraded race answers are never cached: the uncontended
+            # retry gets the provably-optimal answer from the engine.
+            again = submit(svc, "synth", spec=HARD_SPEC, engine="race", id=2)
+            assert again["ok"], again
+            assert again["result"]["source"] == "engine"
+            assert again["result"]["guarantee"] == "optimal"
+            assert again["result"]["size"] == 5
+            assert again["result"]["extra"]["winner"] in (
+                "optimal", "sat", "heuristic"
+            )
+        finally:
+            svc.shutdown()
+
+    def test_served_race_without_deadline_is_bounded(self, handle4):
+        # hwb4 is out of reach at L=7: the optimal lane can only prove a
+        # bound and the SAT lane would grind for a very long time.  A
+        # *served* race must inherit the daemon's hard_timeout as its
+        # default budget and degrade, not park the engine lock.
+        out_of_reach = "[0,2,4,12,8,5,9,11,1,6,10,13,3,14,7,15]"
+        svc = make_service(
+            handle4, extra={"resilience": {"hard_timeout": 0.2}}
+        )
+        try:
+            started = time.monotonic()
+            body = submit(svc, "synth", spec=out_of_reach, engine="race")
+            elapsed = time.monotonic() - started
+            assert body["ok"], body
+            result = body["result"]
+            assert result["guarantee"] == "upper_bound"
+            assert result["extra"]["degraded_reason"] == "deadline"
+            assert elapsed < 30.0
+            circuit = Circuit.parse(result["circuit"], 4)
+            assert circuit.implements(Permutation.coerce(out_of_reach, 4))
+        finally:
+            svc.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Shutdown preempts in-flight hard work
+# ----------------------------------------------------------------------
+class TestShutdownPreemptsHardWork:
+    def test_shutdown_cancels_in_flight_scan(self, handle4):
+        import threading
+
+        svc = make_service(handle4)
+        responses = []
+
+        def client():
+            responses.append(submit(svc, "synth", spec=HARD_SPEC_2))
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        # Wait (bounded) until the scan's work item is actually in
+        # flight, then pull the plug.
+        deadline = time.monotonic() + 10.0
+        while svc.tasks.in_flight == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        svc.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert responses and responses[0]["ok"], responses
+        result = responses[0]["result"]
+        # Either the scan finished just before the cancel landed (exact
+        # answer) or it was preempted and degraded with the shutdown tag;
+        # both are valid responses -- a hang or an error is the bug.
+        if result["source"] == "degraded":
+            assert result["degraded_reason"] == "shutdown"
+            assert result["guarantee"] == "upper_bound"
+            snap = svc.tasks.snapshot()
+            assert snap["cancelled_by_reason"].get("shutdown", 0) >= 1
+        else:
+            assert result["source"] == "scan"
+            assert result["size"] == 5
+        assert svc.tasks.snapshot()["in_flight"] == 0
+        assert svc.stopped

@@ -35,7 +35,7 @@ class TestRegistry:
     def test_engine_names_complete(self):
         assert engine_names() == [
             "clifford", "depth", "heuristic", "linear", "optimal",
-            "plain-bfs", "portfolio", "sat", "wide",
+            "plain-bfs", "portfolio", "race", "sat", "wide",
         ]
 
     def test_unknown_engine(self):
@@ -54,7 +54,7 @@ class TestRegistry:
 
     def test_servable_subset(self):
         servable = servable_engine_names()
-        assert servable == ["depth", "heuristic", "linear", "optimal"]
+        assert servable == ["depth", "heuristic", "linear", "optimal", "race"]
         for name in servable:
             assert engine_capabilities(name).servable
 
