@@ -176,6 +176,8 @@ def cmd_build_db(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service import ServiceConfig, SynthesisService, TCPDaemon, serve_stdio
 
+    if args.shards:
+        return _serve_sharded(args)
     resilience = {}
     if args.hard_timeout is not None:
         resilience["hard_timeout"] = args.hard_timeout
@@ -212,6 +214,45 @@ def cmd_serve(args) -> int:
         f"repro daemon listening on {host}:{port} "
         f"(n={args.wires}, k={args.k}, L={service.handle.max_size}, "
         f"workers={args.workers})",
+        flush=True,
+    )
+    daemon.serve_forever()
+    return 0
+
+
+def _serve_sharded(args) -> int:
+    """``repro serve --shards N``: a consistent-hash router over N
+    single-owner shard daemons sharing one memory-mapped store."""
+    from repro.service import TCPDaemon
+    from repro.service.sharding import ShardCluster
+
+    if args.stdio:
+        print(
+            "error: --stdio and --shards are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_cache:
+        print(
+            "error: --no-cache is incompatible with --shards "
+            "(shards share one cached .rdb store)",
+            file=sys.stderr,
+        )
+        return 2
+    cluster = ShardCluster.launch(
+        args.shards,
+        n_wires=args.wires,
+        k=args.k,
+        max_list_size=args.lists,
+        workers=args.workers,
+    )
+    router = cluster.router.start()
+    daemon = TCPDaemon(router, host=args.host, port=args.port)
+    host, port = daemon.address
+    print(
+        f"repro router listening on {host}:{port} "
+        f"(shards={len(router.ring)}, n={args.wires}, k={args.k}, "
+        f"epoch={router.ring.epoch})",
         flush=True,
     )
     daemon.serve_forever()
@@ -291,6 +332,12 @@ def cmd_query(args) -> int:
         return 1 if failures else 0
 
 
+#: ``repro health`` exit codes by reported status; anything unknown is
+#: treated as degraded.  Probes and CI script against these: 0 = serve
+#: traffic, 1 = investigate, 2 = draining (stop sending work).
+_HEALTH_EXIT_CODES = {"ok": 0, "degraded": 1, "stopping": 2}
+
+
 def cmd_health(args) -> int:
     import json
 
@@ -301,7 +348,34 @@ def cmd_health(args) -> int:
     ) as client:
         body = client.health()
     print(json.dumps(body, indent=2, sort_keys=True))
-    return 0 if body.get("status") == "ok" else 1
+    return _HEALTH_EXIT_CODES.get(body.get("status"), 1)
+
+
+def cmd_shards(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(
+        args.host,
+        args.port,
+        connect_timeout=args.connect_timeout,
+        read_timeout=args.timeout,
+    ) as client:
+        if args.action == "status":
+            print(json.dumps(client.shards(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "join":
+            summary = client.shard_join(args.shard)
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        # drain
+        if not args.shard:
+            print("error: drain needs --shard <id>", file=sys.stderr)
+            return 2
+        summary = client.shard_leave(args.shard)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary.get("drained") else 1
 
 
 def cmd_linear(args) -> int:
@@ -776,6 +850,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for hard queries (0 = inline)",
     )
     p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run a sharded cluster: N shard daemons behind a "
+        "consistent-hash router (0 = single daemon)",
+    )
+    p_serve.add_argument(
         "--batch-window",
         type=float,
         default=2.0,
@@ -868,12 +949,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_health = sub.add_parser(
         "health",
         help="print a running daemon's resilience status "
-        "(exit 1 unless status is ok)",
+        "(exit 0 = ok, 1 = degraded, 2 = stopping)",
     )
     p_health.add_argument("--host", default="127.0.0.1")
     p_health.add_argument("--port", type=int, default=7878)
     p_health.add_argument("--connect-timeout", type=float, default=5.0)
     p_health.set_defaults(func=cmd_health)
+
+    p_shards = sub.add_parser(
+        "shards", help="inspect or reshape a sharded router"
+    )
+    p_shards.add_argument(
+        "action",
+        choices=["status", "drain", "join"],
+        help="status: membership rollup; drain: live-leave a shard "
+        "(--shard required); join: spawn and add a shard",
+    )
+    p_shards.add_argument("--shard", help="target shard id")
+    p_shards.add_argument("--host", default="127.0.0.1")
+    p_shards.add_argument("--port", type=int, default=7878)
+    p_shards.add_argument("--connect-timeout", type=float, default=5.0)
+    p_shards.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the response (drain waits for "
+        "in-flight work)",
+    )
+    p_shards.set_defaults(func=cmd_shards)
 
     p_linear = sub.add_parser("linear", help="Table 5: linear functions")
     p_linear.add_argument("--wires", type=int, default=4)

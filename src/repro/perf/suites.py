@@ -7,11 +7,15 @@ Two tiers:
   store cold starts (``.npz`` load-and-rebuild vs ``.rdb`` zero-copy
   mmap) with mapped probing, one query per search path (database
   hit / list scan / exhausted scan), the same hard query under the
-  racing engine, and the cancel round-trip latency of a preempted
-  scan.  A few seconds end to end at ``REPRO_BENCH_K=5``.
+  racing engine, the cancel round-trip latency of a preempted scan,
+  the shard router's pure routing decision, and an in-process sharded
+  scatter/gather batch.  A few seconds end to end at ``REPRO_BENCH_K=5``.
 * ``full``  -- everything in quick plus the n=4 database build at the
-  configured depth, a Table-3-style random batch, and a service-layer
-  cached batch.  Minutes, for local before/after measurements.
+  configured depth, a Table-3-style random batch, a service-layer
+  cached batch, and paired fast-path batch throughput ops over a real
+  4-process shard cluster vs a single daemon (the sharding speedup,
+  measured honestly over TCP).  Minutes, for local before/after
+  measurements.
 
 Every suite starts with ``calibration.spin``, a fixed pure-Python loop
 whose median calibrates the host's single-core speed; the comparer
@@ -63,6 +67,9 @@ class BenchContext:
         self._engine: Any = None
         self._race_engine: Any = None
         self._service: Any = None
+        self._shard_router: Any = None
+        self._shard_clusters: "dict[int, Any]" = {}
+        self._cluster_tmp: "str | None" = None
         self._store_paths: "tuple[Path, Path] | None" = None
         self._store_tmp: "str | None" = None
 
@@ -111,6 +118,77 @@ class BenchContext:
             self._service.start()
         return self._service
 
+    def shard_router(self) -> Any:
+        """An in-process 4-shard router over the warm handle.
+
+        Every shard wraps its own :class:`SynthesisService`; calls run
+        inline (no sockets, no processes), so ops over this router time
+        the *routing and scatter/gather machinery itself*, not
+        parallelism -- see the full suite's cluster ops for that.
+        """
+        if self._shard_router is None:
+            from repro.service import ServiceConfig, SynthesisService
+            from repro.service.sharding import (
+                InProcessShard,
+                ShardingConfig,
+                ShardRouter,
+                ShardSupervisor,
+            )
+
+            handle = self.optimal_engine().handle()
+            supervisor = ShardSupervisor(
+                config=ShardingConfig(probe_interval=3600.0)
+            )
+            for index in range(4):
+                service = SynthesisService(
+                    handle,
+                    config=ServiceConfig(
+                        n_wires=handle.n_wires,
+                        k=handle.k,
+                        max_list_size=handle.max_list_size,
+                        batch_window=0.0,
+                    ),
+                ).start()
+                supervisor.add(
+                    InProcessShard(f"shard-{index}", service).start()
+                )
+            self._shard_router = ShardRouter(
+                supervisor, n_wires=handle.n_wires
+            )
+        return self._shard_router
+
+    def process_cluster(self, count: int) -> Any:
+        """A real ``count``-process shard cluster at the suite's k (full
+        suite only).  Shards share one pre-built ``.rdb`` store in the
+        bench cache directory (or a temp directory removed by
+        :meth:`close`); the 1-shard cluster is the single-daemon
+        baseline its 4-shard sibling is compared against.
+        """
+        if count not in self._shard_clusters:
+            import tempfile
+
+            from repro.service.sharding import ShardCluster
+
+            if self.cache_dir:
+                cache = Path(self.cache_dir)
+                cache.mkdir(parents=True, exist_ok=True)
+            elif self._cluster_tmp is not None:
+                cache = Path(self._cluster_tmp)
+            else:
+                self._cluster_tmp = tempfile.mkdtemp(
+                    prefix="repro-bench-shards-"
+                )
+                cache = Path(self._cluster_tmp)
+            cluster = ShardCluster.launch(
+                count,
+                k=self.scale["k"],
+                max_list_size=self.scale["max_list_size"],
+                cache_dir=cache,
+            )
+            cluster.router.start()
+            self._shard_clusters[count] = cluster
+        return self._shard_clusters[count]
+
     def db_store_paths(self) -> "tuple[Path, Path]":
         """``(npz_path, rdb_path)`` persisted stores of the suite database.
 
@@ -143,6 +221,17 @@ class BenchContext:
         if self._service is not None:
             self._service.shutdown(save_cache=False)
             self._service = None
+        if self._shard_router is not None:
+            self._shard_router.shutdown()
+            self._shard_router = None
+        for cluster in self._shard_clusters.values():
+            cluster.close()
+        self._shard_clusters = {}
+        if self._cluster_tmp is not None:
+            import shutil
+
+            shutil.rmtree(self._cluster_tmp, ignore_errors=True)
+            self._cluster_tmp = None
         if self._store_tmp is not None:
             import shutil
 
@@ -472,6 +561,78 @@ def _setup_service_cached_batch(ctx: BenchContext) -> Callable[[], Any]:
     return run
 
 
+def _batch_line(ctx: BenchContext, requests: int) -> str:
+    """One JSONL ``batch`` request of fast-path ``size`` sub-requests
+    spread over distinct equivalence classes (so a router scatters it)."""
+    import json
+
+    from repro.core.permutation import Permutation
+
+    db = ctx.optimal_engine().impl.database
+    reps = db.reps_by_size[min(3, ctx.scale["k"])]
+    entries = [
+        {
+            "id": i,
+            "op": "size",
+            "spec": Permutation(int(reps[i % reps.shape[0]]), 4).spec(),
+        }
+        for i in range(requests)
+    ]
+    return json.dumps({"id": 0, "op": "batch", "requests": entries})
+
+
+def _batch_thunk(router: Any, line: str, expected: int) -> Callable[[], Any]:
+    import json
+
+    def run() -> int:
+        body = json.loads(router.handle_line(line))
+        if not body.get("ok") or body["result"]["count"] != expected:
+            raise BenchDataError(f"sharded batch failed mid-benchmark: {body}")
+        return body["result"]["count"]
+
+    return run
+
+
+def _setup_shard_route_decision(_ctx: BenchContext) -> Callable[[], Any]:
+    """Pure routing overhead: owner lookup for 256 keys on a 4-ring."""
+    from repro.rng.sampling import PermutationSampler
+    from repro.service.sharding import HashRing
+
+    ring = HashRing([f"shard-{i}" for i in range(4)])
+    keys = [int(w) for w in PermutationSampler(4, seed=7).sample_words(256)]
+
+    def run() -> int:
+        routed = 0
+        for key in keys:
+            if ring.owner(key) is not None:
+                routed += 1
+        return routed
+
+    return run
+
+
+def _setup_shard_inproc_batch(ctx: BenchContext) -> Callable[[], Any]:
+    """Scatter/gather machinery over in-process shards (no parallelism:
+    this times the router, directly comparable to service.cached_batch)."""
+    return _batch_thunk(ctx.shard_router(), _batch_line(ctx, 32), 32)
+
+
+def _setup_shard_cluster_batch_x4(ctx: BenchContext) -> Callable[[], Any]:
+    """Fast-path batch over a real 4-process cluster: slices execute in
+    four shard processes concurrently while the router waits on sockets."""
+    return _batch_thunk(
+        ctx.process_cluster(4).router, _batch_line(ctx, 512), 512
+    )
+
+
+def _setup_shard_cluster_batch_x1(ctx: BenchContext) -> Callable[[], Any]:
+    """The same 512-request batch against a single daemon process -- the
+    baseline the 4-shard op's speedup is judged against."""
+    return _batch_thunk(
+        ctx.process_cluster(1).router, _batch_line(ctx, 512), 512
+    )
+
+
 # ----------------------------------------------------------------------
 # Suite definitions
 # ----------------------------------------------------------------------
@@ -497,6 +658,8 @@ _QUICK_OPS: tuple[BenchOp, ...] = (
     BenchOp("search.exhausted", _setup_search_exhausted, target_time=0.5),
     BenchOp("race.hard_query", _setup_race_hard_query, target_time=0.5),
     BenchOp("task.cancel_latency", _setup_cancel_latency),
+    BenchOp("shard.route_decision", _setup_shard_route_decision),
+    BenchOp("shard.inproc_batch", _setup_shard_inproc_batch),
 )
 
 _FULL_OPS: tuple[BenchOp, ...] = _QUICK_OPS + (
@@ -508,6 +671,18 @@ _FULL_OPS: tuple[BenchOp, ...] = _QUICK_OPS + (
         once=True,
     ),
     BenchOp("service.cached_batch", _setup_service_cached_batch),
+    BenchOp(
+        "shard.cluster_batch_x1",
+        _setup_shard_cluster_batch_x1,
+        min_samples=5,
+        once=True,
+    ),
+    BenchOp(
+        "shard.cluster_batch_x4",
+        _setup_shard_cluster_batch_x4,
+        min_samples=5,
+        once=True,
+    ),
 )
 
 _SUITES: dict[str, tuple[BenchOp, ...]] = {

@@ -40,7 +40,11 @@ from repro.service.resilience import RetryPolicy
 
 #: Ops whose effects are idempotent, hence safe to retry after a *read*
 #: failure (the daemon may have already executed the first attempt).
-SAFE_RETRY_OPS = ("synth", "size", "ping", "stats", "health")
+#: ``batch`` qualifies because its sub-requests are restricted to the
+#: idempotent work ops; ``shards`` is a read-only rollup.  Membership
+#: ops (``shard_join``/``shard_leave``) and ``shutdown`` are not here:
+#: re-sending them is not provably safe.
+SAFE_RETRY_OPS = ("synth", "size", "ping", "stats", "health", "batch", "shards")
 
 
 class ServiceClient:
@@ -126,6 +130,13 @@ class ServiceClient:
                 pass
             self._sock = None
 
+    def set_read_timeout(self, seconds: float) -> None:
+        """Change the per-response wait, applying it to a live socket
+        too (the shard router adjusts this per forwarded request)."""
+        self.read_timeout = seconds
+        if self._sock is not None:
+            self._sock.settimeout(seconds)
+
     def __enter__(self) -> "ServiceClient":
         return self.connect()
 
@@ -155,6 +166,15 @@ class ServiceClient:
         if not response:
             self.close()
             raise ServiceError("daemon closed the connection")
+        if not response.endswith(b"\n"):
+            # The peer died mid-write: a partial line would raise
+            # ProtocolError from the decoder, which is *not* retriable.
+            # Surface it as the transport failure it really is, so the
+            # retry policy can re-ask for idempotent ops.
+            self.close()
+            raise ServiceError(
+                "connection dropped mid-response (truncated line)"
+            )
         return protocol.decode_response(response)
 
     def request(self, op: str, **fields) -> dict:
@@ -252,6 +272,33 @@ class ServiceClient:
     def shutdown(self) -> dict:
         """Ask the daemon to drain and exit."""
         return self.request("shutdown")
+
+    def batch(
+        self, requests, deadline_ms: "int | None" = None
+    ) -> "list[dict]":
+        """Submit many ``synth``/``size`` sub-requests in one round trip.
+
+        ``requests`` is a list of request dicts (each needs at least
+        ``op`` plus a spec field).  Returns the per-request envelopes in
+        order -- each is ``{"id", "ok", "result"|"error"}``; a failed
+        sub-request never poisons its siblings.
+        """
+        result = self.request(
+            "batch", requests=list(requests), deadline_ms=deadline_ms
+        )
+        return result.get("results", [])
+
+    def shards(self) -> dict:
+        """Cluster membership rollup (routers only)."""
+        return self.request("shards")
+
+    def shard_join(self, shard: "str | None" = None) -> dict:
+        """Ask a router to spawn and join a new shard."""
+        return self.request("shard_join", shard=shard)
+
+    def shard_leave(self, shard: str) -> dict:
+        """Ask a router to drain a shard out of the cluster."""
+        return self.request("shard_leave", shard=shard)
 
     @staticmethod
     def _spec_fields(spec, wires: "int | None") -> dict:

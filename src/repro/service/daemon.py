@@ -319,6 +319,16 @@ class SynthesisService:
             return protocol.encode_response(
                 request.id, result={"draining": True}
             )
+        if request.op == "batch":
+            return self._batch_submit(request)
+        if request.op in ("shards", "shard_join", "shard_leave"):
+            return self._error_response(
+                request.id,
+                ProtocolError(
+                    f"op {request.op!r} needs a sharded router "
+                    "(start one with 'repro serve --shards N')"
+                ),
+            )
         # synth / size: route by engine.  The default keeps the batched
         # optimal pipeline; named engines answer on this thread.
         engine_name = request.engine or DEFAULT_ENGINE
@@ -351,6 +361,33 @@ class SynthesisService:
                 ),
             )
         return response
+
+    def _batch_submit(self, request: "protocol.Request") -> str:
+        """Answer a ``batch`` op by executing its sub-requests in order.
+
+        A single daemon has no shards to scatter over, so sub-requests
+        run sequentially through the same entry point a standalone
+        request would take; each yields a complete response envelope
+        (its own id/ok/error), so one bad spec never poisons the batch.
+        A sharded router produces the same envelopes for the same
+        sub-requests (the shard-smoke CI job compares the two byte for
+        byte -- see ``docs/SHARDING.md``).
+        """
+        envelopes = []
+        for entry in request.options.get("requests", []):
+            try:
+                sub = protocol.decode_payload(entry)
+            except ProtocolError as exc:
+                envelopes.append(json.loads(protocol.encode_response(
+                    entry.get("id") if isinstance(entry, dict) else None,
+                    error=protocol.error_envelope(exc),
+                )))
+                continue
+            envelopes.append(json.loads(self.submit(sub)))
+        return protocol.encode_response(
+            request.id,
+            result={"count": len(envelopes), "results": envelopes},
+        )
 
     # ------------------------------------------------------------------
     # Non-default engines

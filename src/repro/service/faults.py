@@ -22,12 +22,19 @@ kind                 stage         effect
 ``corrupt_cache``    cache_save    garble the persisted result-cache file
                                    after a successful save (simulates a torn
                                    write for the next load)
+``kill_shard``       shard_kill    the shard router SIGKILLs the target
+                                   shard's backend immediately before
+                                   forwarding to it (a crash mid-request)
+``partition_shard``  shard_partition  the router treats the target shard as
+                                   unreachable for one forward (the process
+                                   stays healthy -- a network partition)
 ===================  ============  =============================================
 
 ``delay`` specs may carry an ``op`` filter (fire only for that protocol
-op); the other kinds fire at stages where the op is not in scope.
-Everything the injector did is visible in ``health`` via
-:meth:`FaultInjector.snapshot`.
+op); ``kill_shard``/``partition_shard`` may carry a ``shard`` filter
+(fire only when routing to that shard id); the other kinds fire at
+stages where neither is in scope.  Everything the injector did is
+visible in ``health`` via :meth:`FaultInjector.snapshot`.
 """
 
 from __future__ import annotations
@@ -46,7 +53,12 @@ FAULT_STAGES = {
     "drop_connection": "response",
     "kill_worker": "hard",
     "corrupt_cache": "cache_save",
+    "kill_shard": "shard_kill",
+    "partition_shard": "shard_partition",
 }
+
+#: Kinds that may carry a ``shard`` filter (fire only for that shard id).
+_SHARD_KINDS = ("kill_shard", "partition_shard")
 
 
 @dataclass(frozen=True)
@@ -57,6 +69,7 @@ class FaultSpec:
     times: int = 1
     delay: float = 0.0
     op: "str | None" = None
+    shard: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_STAGES:
@@ -72,6 +85,11 @@ class FaultSpec:
             raise ServiceError(
                 f"'op' filter is only supported for delay faults, "
                 f"not {self.kind!r}"
+            )
+        if self.shard is not None and self.kind not in _SHARD_KINDS:
+            raise ServiceError(
+                f"'shard' filter is only supported for "
+                f"{' / '.join(_SHARD_KINDS)} faults, not {self.kind!r}"
             )
 
     @property
@@ -94,7 +112,7 @@ class FaultPlan:
                 f"got {type(raw).__name__}"
             )
         specs = []
-        allowed = {"kind", "times", "delay", "op"}
+        allowed = {"kind", "times", "delay", "op", "shard"}
         for entry in raw:
             if not isinstance(entry, dict):
                 raise ServiceError(
@@ -131,14 +149,21 @@ class FaultInjector:
             return None
         return cls(FaultPlan.from_dicts(raw))
 
-    def _take(self, stage: str, op: "str | None" = None) -> "FaultSpec | None":
-        """First armed spec matching ``stage`` (and ``op``), consumed."""
+    def _take(
+        self,
+        stage: str,
+        op: "str | None" = None,
+        shard: "str | None" = None,
+    ) -> "FaultSpec | None":
+        """First armed spec matching ``stage`` (and filters), consumed."""
         with self._lock:
             for slot in self._armed:
                 spec, remaining = slot
                 if remaining < 1 or spec.stage != stage:
                     continue
                 if spec.op is not None and spec.op != op:
+                    continue
+                if spec.shard is not None and spec.shard != shard:
                     continue
                 slot[1] = remaining - 1
                 self._fired[spec.kind] = self._fired.get(spec.kind, 0) + 1
@@ -188,6 +213,19 @@ class FaultInjector:
             return False
         path.write_bytes(data[: max(1, len(data) // 2)] + b"\x00garbled")
         return True
+
+    def kill_shard(self, backend) -> bool:
+        """Stage ``shard_kill``: SIGKILL the shard backend the router is
+        about to forward to (crash-mid-request chaos primitive)."""
+        if self._take("shard_kill", shard=backend.shard_id) is None:
+            return False
+        backend.kill()
+        return True
+
+    def partition_shard(self, shard_id: str) -> bool:
+        """Stage ``shard_partition``: should the router treat this shard
+        as unreachable for the current forward?"""
+        return self._take("shard_partition", shard=shard_id) is not None
 
     def snapshot(self) -> dict:
         """JSON-ready injector state for ``health``."""

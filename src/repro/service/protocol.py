@@ -18,6 +18,16 @@ Request::
                    cache persistence state.
 * ``ping``      -- liveness check.
 * ``shutdown``  -- ask the daemon to drain pending requests and exit.
+* ``batch``     -- a list of ``synth``/``size`` sub-requests under
+                   ``requests``; the result is ``{"results": [...]}``
+                   holding one complete response envelope per
+                   sub-request, in order.  A plain daemon answers them
+                   sequentially; a sharded router scatter/gathers the
+                   slices (see :mod:`repro.service.sharding`).
+* ``shards``       -- routing-table + per-shard rollup (router only).
+* ``shard_join``   -- add a shard to the ring (router only).
+* ``shard_leave``  -- drain a shard and remove it (router only;
+                      ``shard`` names which one).
 
 ``synth``/``size`` requests may carry an ``engine`` field naming which
 synthesis engine answers (see :mod:`repro.engines`); omitted or
@@ -63,10 +73,27 @@ from repro.errors import (
 )
 
 #: Ops understood by the daemon.
-OPS = ("synth", "size", "stats", "health", "ping", "shutdown")
+OPS = (
+    "synth",
+    "size",
+    "stats",
+    "health",
+    "ping",
+    "shutdown",
+    "batch",
+    "shards",
+    "shard_join",
+    "shard_leave",
+)
+
+#: Ops that carry synthesis work (batchable, routable by canonical rep).
+WORK_OPS = ("synth", "size")
 
 #: Maximum accepted line length (guards the reader against garbage input).
 MAX_LINE_BYTES = 1 << 20
+
+#: Maximum sub-requests accepted in one ``batch`` op.
+MAX_BATCH_REQUESTS = 1024
 
 
 @dataclass(frozen=True)
@@ -107,6 +134,12 @@ def decode_request(line: "str | bytes") -> Request:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    return decode_payload(payload)
+
+
+def decode_payload(payload) -> Request:
+    """Validate an already-parsed request object (used directly for the
+    sub-requests of a ``batch`` op)."""
     if not isinstance(payload, dict):
         raise ProtocolError("request must be a JSON object")
     op = payload.get("op")
@@ -141,6 +174,32 @@ def decode_request(line: "str | bytes") -> Request:
         raise ProtocolError(
             f"deadline_ms must be a positive integer, got {deadline_ms!r}"
         )
+    if op == "batch":
+        requests = payload.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ProtocolError(
+                "op 'batch' requires a non-empty 'requests' list"
+            )
+        if len(requests) > MAX_BATCH_REQUESTS:
+            raise ProtocolError(
+                f"batch carries {len(requests)} sub-requests; "
+                f"the limit is {MAX_BATCH_REQUESTS}"
+            )
+        for entry in requests:
+            if not isinstance(entry, dict):
+                raise ProtocolError("batch sub-requests must be JSON objects")
+            if entry.get("op") not in WORK_OPS:
+                raise ProtocolError(
+                    "batch sub-requests must set 'op' to one of "
+                    f"{', '.join(WORK_OPS)}, got {entry.get('op')!r}"
+                )
+    if op == "shard_leave":
+        shard = payload.get("shard")
+        if not isinstance(shard, str) or not shard:
+            raise ProtocolError(
+                "op 'shard_leave' requires a 'shard' string naming the "
+                "shard to drain"
+            )
     known = {"id", "op", "spec", "word", "wires", "engine", "deadline_ms"}
     options = {k: v for k, v in payload.items() if k not in known}
     return Request(
@@ -213,8 +272,11 @@ def raise_for_error(envelope: dict) -> None:
 
 __all__ = [
     "OPS",
+    "WORK_OPS",
     "MAX_LINE_BYTES",
+    "MAX_BATCH_REQUESTS",
     "Request",
+    "decode_payload",
     "decode_request",
     "decode_response",
     "encode_response",

@@ -1,0 +1,700 @@
+"""The shard router: consistent-hash front-end over N shard daemons.
+
+:class:`ShardRouter` duck-types the :class:`SynthesisService` surface
+(``handle_line``/``submit``/``start``/``shutdown``/``stopping``/
+``faults``/``add_shutdown_hook``), so the existing transports --
+:class:`repro.service.daemon.TCPDaemon` and ``serve_stdio`` -- serve a
+sharded cluster completely unchanged.
+
+Routing: each ``synth``/``size`` request is keyed by the canonical
+representative of its spec (one equivalence class, one owner, one
+result-cache partition) and forwarded to the rendezvous owner.  If the
+owner is unreachable the router walks the preference list -- every
+shard maps the complete ``.rdb`` store, so the re-routed answer is
+*exact*.  Only when no live shard remains (or the deadline is burned)
+does the router degrade to a local fallback-engine answer tagged
+``"guarantee": "upper_bound"`` -- a response is always written.
+
+``batch`` ops scatter by owner and gather with per-shard deadlines; a
+failed slice re-routes its members individually (exact) or degrades
+(tagged), never poisons the batch, and never blocks on a dead peer.
+
+Every forward runs under a :class:`repro.service.tasks.WorkItem` token
+registered with the target shard, which is what makes live drain
+observable: ``shard_leave`` cancels the stragglers' tokens and the
+router re-routes at its next checkpoint.  Rollups (``health``,
+``stats``, ``shards``) aggregate per-shard state, breaker status, task
+accounting, and the routing-table epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+
+from repro import __version__
+from repro.core.equivalence import canonical
+from repro.core.permutation import Permutation
+from repro.engines import GUARANTEE_UPPER_BOUND, SynthesisRequest, create_engine
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceShutdownError,
+)
+from repro.service import protocol
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import Deadline
+from repro.service.sharding.config import ShardingConfig
+from repro.service.sharding.shard import LEFT, UP
+from repro.service.sharding.supervisor import ShardSupervisor
+from repro.service.tasks import TaskRegistry
+
+
+class ShardRouter:
+    """Route requests across a supervised shard cluster.
+
+    Args:
+        supervisor: The :class:`ShardSupervisor` owning membership (its
+            ring is the routing table).
+        n_wires: Wire count the cluster serves (requests naming another
+            get an ``invalid_spec`` envelope, like a plain daemon).
+        config: :class:`ShardingConfig`; defaults to the supervisor's.
+        metrics: Optional shared :class:`MetricsRegistry`.
+        faults: Optional :class:`repro.service.faults.FaultInjector`
+            (the ``kill_shard``/``partition_shard`` kinds fire here).
+        spawner: Optional callable ``spawner(shard_id) -> backend``
+            used by the ``shard_join`` op; a cluster launcher provides
+            one, unit-test routers may not.
+        fallback_engine: Engine answering when no shard can (default
+            ``"heuristic"`` -- in-process, no database needed).
+    """
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        *,
+        n_wires: int = 4,
+        config: "ShardingConfig | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        faults=None,
+        spawner=None,
+        fallback_engine: str = "heuristic",
+    ) -> None:
+        self.supervisor = supervisor
+        self.ring = supervisor.ring
+        self.n_wires = n_wires
+        self.config = config or supervisor.config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults = faults
+        self.tasks = TaskRegistry(metrics=self.metrics)
+        self._spawner = spawner
+        self._fallback_name = fallback_engine
+        self._fallback = None
+        self._fallback_lock = threading.Lock()
+        self._next_shard_index = len(supervisor.shards())
+        self._shutdown_hooks: list = []
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_requested = False
+        self._shutdown_started = False
+        self._stopped = threading.Event()
+        self._started_at: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (SynthesisService surface)
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardRouter":
+        self.supervisor.start()
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+        return self
+
+    @property
+    def stopping(self) -> bool:
+        return self._shutdown_requested or self._shutdown_started
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def add_shutdown_hook(self, hook) -> None:
+        self._shutdown_hooks.append(hook)
+
+    def shutdown(self) -> None:
+        """Stop probing, drain shards gracefully, stop transports."""
+        with self._shutdown_lock:
+            already_started = self._shutdown_started
+            self._shutdown_started = True
+        if already_started:
+            while not self._stopped.wait(timeout=1.0):
+                pass
+            return
+        self.tasks.cancel_in_flight("shutdown")
+        self.supervisor.close(stop_shards=True)
+        for hook in self._shutdown_hooks:
+            try:
+                hook()
+            except Exception:
+                pass
+        self._stopped.set()
+
+    def request_shutdown(self) -> None:
+        self._shutdown_requested = True
+        threading.Thread(
+            target=self.shutdown, name="repro-router-shutdown", daemon=True
+        ).start()
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    def handle_line(self, line: "str | bytes") -> str:
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            self.metrics.counter("responses_error").inc()
+            return protocol.encode_response(
+                None, error=protocol.error_envelope(exc)
+            )
+        return self.submit(request)
+
+    def submit(self, request: "protocol.Request") -> str:
+        self.metrics.counter("requests_total").inc()
+        self.metrics.counter(f"requests_{request.op}").inc()
+        deadline = Deadline.from_ms(request.deadline_ms)
+        if self.faults is not None:
+            self.faults.delay_request(request.op)
+        if request.op == "ping":
+            return protocol.encode_response(
+                request.id,
+                result={
+                    "pong": True,
+                    "version": __version__,
+                    "router": True,
+                    "shards": len(self.ring),
+                    "epoch": self.ring.epoch,
+                },
+            )
+        if request.op == "stats":
+            return protocol.encode_response(request.id, result=self.stats())
+        if request.op == "health":
+            return protocol.encode_response(request.id, result=self.health())
+        if request.op == "shards":
+            return protocol.encode_response(
+                request.id, result=self.shards_status()
+            )
+        if request.op == "shutdown":
+            self.request_shutdown()
+            return protocol.encode_response(
+                request.id, result={"draining": True}
+            )
+        if request.op == "shard_join":
+            return self._shard_join(request)
+        if request.op == "shard_leave":
+            return self._shard_leave(request)
+        # synth / size / batch: synthesis work.
+        if self.stopping:
+            return self._error_response(
+                request.id, ServiceShutdownError("router is draining")
+            )
+        if request.op == "batch":
+            return self._batch_submit(request, deadline)
+        if request.wires is not None and request.wires != self.n_wires:
+            return self._error_response(
+                request.id,
+                ProtocolError(
+                    f"this daemon serves n_wires={self.n_wires}, "
+                    f"got wires={request.wires}",
+                    kind="invalid_spec",
+                ),
+            )
+        try:
+            perm = Permutation.coerce(request.spec_value(), self.n_wires)
+        except ReproError as exc:
+            return self._error_response(request.id, exc)
+        except (TypeError, ValueError) as exc:
+            return self._error_response(
+                request.id,
+                ProtocolError(f"unparseable spec: {exc}", kind="invalid_spec"),
+            )
+        return self._route_work(request, perm, deadline)
+
+    # ------------------------------------------------------------------
+    # Single-request routing
+    # ------------------------------------------------------------------
+    def _route_work(
+        self,
+        request: "protocol.Request",
+        perm: Permutation,
+        deadline: "Deadline | None",
+        canon: "int | None" = None,
+    ) -> str:
+        if canon is None:
+            canon = canonical(perm.word, self.n_wires)
+        payload = self._forward_payload(request, deadline)
+        work = self.tasks.create(
+            "forward", payload=request.op, deadline=deadline
+        )
+        work.start()
+        envelope, shard_id, reason = self._forward(
+            canon, payload, work, deadline
+        )
+        if envelope is not None:
+            self._finish(work, shard_id)
+            self.metrics.counter("responses_forwarded").inc()
+            if envelope.get("ok"):
+                return protocol.encode_response(
+                    request.id, result=envelope.get("result", {})
+                )
+            return protocol.encode_response(
+                request.id, error=envelope.get("error", {})
+            )
+        if work.token.cancelled:
+            reason = work.token.reason or reason
+            if not work.finished:
+                work.mark_cancelled()
+        elif not work.finished:
+            work.degrade()
+        return self._degraded_response(request, perm, reason)
+
+    def _forward(
+        self,
+        canon: int,
+        payload: dict,
+        work,
+        deadline: "Deadline | None",
+    ) -> "tuple[dict | None, str | None, str]":
+        """Walk the preference list for ``canon``; first answer wins.
+
+        Returns ``(envelope, shard_id, reason)`` -- envelope None when
+        every attempt failed, with ``reason`` saying why.
+        """
+        tried: set = set()
+        reason = "no_live_shard"
+        for _ in range(self.config.forward_attempts):
+            if work.token.cancelled and work.token.reason == "shutdown":
+                return None, None, "shutdown"
+            managed = self._pick(canon, tried)
+            if managed is None:
+                return None, None, reason
+            tried.add(managed.shard_id)
+            if self.faults is not None:
+                if self.faults.kill_shard(managed.backend):
+                    self.metrics.counter("fault_shard_kills").inc()
+                if self.faults.partition_shard(managed.shard_id):
+                    self.metrics.counter("fault_shard_partitions").inc()
+                    self.supervisor.note_failure(managed.shard_id)
+                    self.metrics.counter("reroutes").inc()
+                    reason = "shard_unreachable"
+                    continue
+            if deadline is not None:
+                if deadline.expired():
+                    return None, None, "deadline"
+            timeout = self._forward_wait(deadline)
+            managed.begin_request(work.token)
+            try:
+                envelope = managed.backend.call(payload, timeout=timeout)
+            except ServiceError:
+                envelope = None
+            finally:
+                managed.end_request(work.token)
+            if envelope is not None:
+                error = envelope.get("error") or {}
+                if envelope.get("ok") or error.get("kind") != "shutdown":
+                    self.metrics.counter(
+                        f"forwards_{managed.shard_id}"
+                    ).inc()
+                    return envelope, managed.shard_id, ""
+                # The shard is draining (we raced a leave): treat like
+                # an unreachable peer and walk on.
+            self.metrics.counter("forward_failures").inc()
+            self.supervisor.note_failure(managed.shard_id)
+            self.metrics.counter("reroutes").inc()
+            reason = "shard_unreachable"
+        return None, None, reason
+
+    def _pick(self, canon: int, tried: set):
+        """The best routable shard for ``canon`` not yet tried."""
+        for shard_id in self.ring.preference(canon):
+            if shard_id in tried:
+                continue
+            managed = self.supervisor.get(shard_id)
+            if managed is not None and managed.routable:
+                return managed
+        return None
+
+    def _forward_wait(self, deadline: "Deadline | None") -> float:
+        timeout = self.config.forward_timeout
+        if deadline is not None:
+            # Give the shard its full remaining budget plus slack for
+            # its own degraded answer to come back.
+            timeout = min(timeout, max(0.1, deadline.remaining()) + 2.0)
+        return timeout
+
+    def _forward_payload(
+        self, request: "protocol.Request", deadline: "Deadline | None"
+    ) -> dict:
+        payload: dict = {"id": request.id, "op": request.op}
+        if request.spec is not None:
+            payload["spec"] = request.spec
+        if request.word is not None:
+            payload["word"] = request.word
+        if request.wires is not None:
+            payload["wires"] = request.wires
+        if request.engine is not None:
+            payload["engine"] = request.engine
+        if deadline is not None:
+            payload["deadline_ms"] = max(1, int(deadline.remaining() * 1000))
+        payload.update(request.options)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Batch scatter/gather
+    # ------------------------------------------------------------------
+    def _batch_submit(
+        self, request: "protocol.Request", deadline: "Deadline | None"
+    ) -> str:
+        entries = request.options.get("requests", [])
+        slots: "list[dict | None]" = [None] * len(entries)
+        parsed: list = []  # (index, sub_request, perm, canon)
+        for index, entry in enumerate(entries):
+            try:
+                sub = protocol.decode_payload(entry)
+                if sub.wires is not None and sub.wires != self.n_wires:
+                    raise ProtocolError(
+                        f"this daemon serves n_wires={self.n_wires}, "
+                        f"got wires={sub.wires}",
+                        kind="invalid_spec",
+                    )
+                perm = Permutation.coerce(sub.spec_value(), self.n_wires)
+            except ReproError as exc:
+                slots[index] = self._error_envelope_for(entry, exc)
+                continue
+            except (TypeError, ValueError) as exc:
+                slots[index] = self._error_envelope_for(
+                    entry,
+                    ProtocolError(
+                        f"unparseable spec: {exc}", kind="invalid_spec"
+                    ),
+                )
+                continue
+            parsed.append(
+                (index, sub, perm, canonical(perm.word, self.n_wires))
+            )
+        groups: "dict[str | None, list]" = {}
+        for item in parsed:
+            groups.setdefault(self.ring.owner(item[3]), []).append(item)
+
+        def run_slice(owner, items) -> None:
+            try:
+                self._forward_slice(owner, items, slots, deadline)
+            except Exception:  # defensive: never poison the batch
+                for index, sub, perm, _canon in items:
+                    if slots[index] is None:
+                        slots[index] = json.loads(
+                            self._degraded_response(sub, perm, "router_error")
+                        )
+
+        if len(groups) > 1:
+            # Scatter: one thread per slice, gathered with a bound that
+            # covers a full failover walk.
+            budget = self.config.forward_timeout * (
+                self.config.forward_attempts + 1
+            )
+            executor = ThreadPoolExecutor(
+                max_workers=len(groups), thread_name_prefix="repro-scatter"
+            )
+            try:
+                futures = [
+                    executor.submit(run_slice, owner, items)
+                    for owner, items in groups.items()
+                ]
+                for future in futures:
+                    try:
+                        future.result(timeout=budget)
+                    except _FutureTimeout:  # pragma: no cover - wedged peer
+                        pass
+            finally:
+                executor.shutdown(wait=False)
+        elif groups:
+            owner, items = next(iter(groups.items()))
+            run_slice(owner, items)
+        for index, sub, perm, _canon in parsed:
+            if slots[index] is None:  # pragma: no cover - wedged peer
+                slots[index] = json.loads(
+                    self._degraded_response(sub, perm, "router_timeout")
+                )
+        return protocol.encode_response(
+            request.id, result={"count": len(slots), "results": slots}
+        )
+
+    def _forward_slice(
+        self, owner, items, slots, deadline: "Deadline | None"
+    ) -> None:
+        """Forward one owner's slice as a shard-side ``batch``; on any
+        failure, re-route the members individually."""
+        managed = (
+            self.supervisor.get(owner) if owner is not None else None
+        )
+        work = self.tasks.create(
+            "slice", payload=owner or "unrouted", deadline=deadline
+        )
+        work.start()
+        if managed is not None and self.faults is not None:
+            if self.faults.kill_shard(managed.backend):
+                self.metrics.counter("fault_shard_kills").inc()
+            if self.faults.partition_shard(managed.shard_id):
+                self.metrics.counter("fault_shard_partitions").inc()
+                self.supervisor.note_failure(managed.shard_id)
+                managed = None
+        envelope = None
+        if managed is not None and managed.routable:
+            payload = {
+                "id": None,
+                "op": "batch",
+                "requests": [
+                    self._forward_payload(sub, deadline)
+                    for _index, sub, _perm, _canon in items
+                ],
+            }
+            managed.begin_request(work.token)
+            try:
+                envelope = managed.backend.call(
+                    payload, timeout=self._forward_wait(deadline)
+                )
+            except ServiceError:
+                self.metrics.counter("forward_failures").inc()
+                self.supervisor.note_failure(managed.shard_id)
+                envelope = None
+            finally:
+                managed.end_request(work.token)
+        if envelope is not None and envelope.get("ok"):
+            results = (envelope.get("result") or {}).get("results") or []
+            if len(results) == len(items):
+                for (index, _sub, _perm, _canon), sub_env in zip(
+                    items, results
+                ):
+                    slots[index] = sub_env
+                self._finish(work, owner)
+                self.metrics.counter("slices_forwarded").inc()
+                return
+        # The slice failed: dead/partitioned owner, drain race, or a
+        # malformed reply.  Each member re-routes through the normal
+        # preference walk -- exact answers from the survivors, degraded
+        # only as the last resort.  The batch never loses a request.
+        if work.token.cancelled:
+            if not work.finished:
+                work.mark_cancelled()
+        elif not work.finished:
+            work.degrade()
+        self.metrics.counter("slices_rerouted").inc()
+        for index, sub, perm, canon in items:
+            slots[index] = json.loads(
+                self._route_work(sub, perm, deadline, canon=canon)
+            )
+
+    # ------------------------------------------------------------------
+    # Shard membership ops
+    # ------------------------------------------------------------------
+    def _shard_join(self, request: "protocol.Request") -> str:
+        if self._spawner is None:
+            return self._error_response(
+                request.id,
+                ProtocolError(
+                    "this router has no shard spawner; shard_join needs a "
+                    "cluster-managed router (repro serve --shards N)"
+                ),
+            )
+        shard_id = request.options.get("shard")
+        if shard_id is None:
+            shard_id = self._fresh_shard_id()
+        elif not isinstance(shard_id, str) or not shard_id:
+            return self._error_response(
+                request.id,
+                ProtocolError("shard_join 'shard' must be a non-empty string"),
+            )
+        try:
+            backend = self._spawner(shard_id)
+            managed = self.supervisor.add(backend)
+        except ServiceError as exc:
+            return self._error_response(request.id, exc)
+        self.metrics.counter("shard_joins").inc()
+        return protocol.encode_response(
+            request.id,
+            result={
+                "shard": shard_id,
+                "state": managed.state,
+                "epoch": self.ring.epoch,
+                "members": list(self.ring.members),
+            },
+        )
+
+    def _fresh_shard_id(self) -> str:
+        while True:
+            candidate = f"shard-{self._next_shard_index}"
+            self._next_shard_index += 1
+            existing = self.supervisor.get(candidate)
+            if existing is None or existing.state == LEFT:
+                return candidate
+
+    def _shard_leave(self, request: "protocol.Request") -> str:
+        shard_id = request.options.get("shard")
+        try:
+            summary = self.supervisor.drain(shard_id)
+        except ServiceError as exc:
+            return self._error_response(request.id, exc)
+        self.metrics.counter("shard_leaves").inc()
+        summary["members"] = list(self.ring.members)
+        return protocol.encode_response(request.id, result=summary)
+
+    # ------------------------------------------------------------------
+    # Rollups
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cluster-wide resilience rollup.
+
+        Probes every shard synchronously first, so a crash that
+        happened between probe ticks is already reflected in the answer
+        (and the probe itself triggers eviction/restart).  ``status``
+        is the worst surviving guarantee: ``ok`` only when every
+        non-left shard is up and itself reports ``ok``.
+        """
+        self.supervisor.probe_all()
+        snap = self.supervisor.snapshot()
+        active = [s for s in snap["shards"] if s["state"] != LEFT]
+        if self.stopping:
+            status = "stopping"
+        elif not snap["members"]:
+            status = "degraded"
+        elif any(s["state"] != UP for s in active):
+            status = "degraded"
+        elif any(s["health"] != "ok" for s in active):
+            status = "degraded"
+        else:
+            status = "ok"
+        body = {
+            "status": status,
+            "version": __version__,
+            "router": True,
+            "epoch": snap["epoch"],
+            "members": snap["members"],
+            "restarts": snap["restarts"],
+            "shards": snap["shards"],
+            "tasks": self.tasks.snapshot(),
+        }
+        if self.faults is not None:
+            body["faults"] = self.faults.snapshot()
+        return body
+
+    def stats(self) -> dict:
+        """Router config/metrics plus a best-effort per-shard stats pull."""
+        per_shard: "dict[str, dict | None]" = {}
+        for managed in self.supervisor.shards():
+            if not managed.routable:
+                per_shard[managed.shard_id] = None
+                continue
+            try:
+                envelope = managed.backend.call(
+                    {"id": "stats", "op": "stats"},
+                    timeout=self.config.probe_timeout,
+                )
+                per_shard[managed.shard_id] = (
+                    envelope.get("result") if envelope.get("ok") else None
+                )
+            except ServiceError:
+                per_shard[managed.shard_id] = None
+        return {
+            "version": __version__,
+            "uptime": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else None
+            ),
+            "router": {
+                "epoch": self.ring.epoch,
+                "members": list(self.ring.members),
+                "restarts": self.supervisor.total_restarts,
+                "n_wires": self.n_wires,
+                "forward_attempts": self.config.forward_attempts,
+                "forward_timeout": self.config.forward_timeout,
+            },
+            "metrics": self.metrics.snapshot(),
+            "tasks": self.tasks.snapshot(),
+            "shards": per_shard,
+        }
+
+    def shards_status(self) -> dict:
+        """The ``shards`` op payload: membership without fresh probes."""
+        snap = self.supervisor.snapshot()
+        snap["stopping"] = self.stopping
+        return snap
+
+    # ------------------------------------------------------------------
+    # Degraded answers (no shard could answer)
+    # ------------------------------------------------------------------
+    def _fallback_engine(self):
+        with self._fallback_lock:
+            if self._fallback is None:
+                self._fallback = create_engine(
+                    self._fallback_name, n_wires=self.n_wires
+                )
+            return self._fallback
+
+    def _degraded_response(
+        self, request: "protocol.Request", perm: Permutation, reason: str
+    ) -> str:
+        try:
+            engine = self._fallback_engine()
+            with self._fallback_lock:
+                result = engine.synthesize(
+                    SynthesisRequest(spec=perm, n_wires=self.n_wires)
+                )
+        except Exception as exc:  # pragma: no cover - fallback broke
+            return self._error_response(request.id, exc)
+        self.metrics.counter("responses_ok").inc()
+        self.metrics.counter("responses_degraded").inc()
+        self.metrics.counter(f"degraded_{reason}").inc()
+        body = {
+            "spec": perm.spec(),
+            "word": protocol.word_to_hex(perm.word),
+            "size": result.size,
+            "source": "degraded",
+            "guarantee": GUARANTEE_UPPER_BOUND,
+            "degraded_reason": reason,
+            "tier": self._fallback_name,
+        }
+        if request.op == "synth":
+            body["circuit"] = result.circuit
+            body["depth"] = result.depth
+            body["cost"] = result.cost
+        return protocol.encode_response(request.id, result=body)
+
+    # ------------------------------------------------------------------
+    # Response shaping helpers
+    # ------------------------------------------------------------------
+    def _error_envelope_for(self, entry, exc: BaseException) -> dict:
+        request_id = entry.get("id") if isinstance(entry, dict) else None
+        return json.loads(
+            protocol.encode_response(
+                request_id, error=protocol.error_envelope(exc)
+            )
+        )
+
+    def _error_response(self, request_id, exc: BaseException) -> str:
+        self.metrics.counter("responses_error").inc()
+        return protocol.encode_response(
+            request_id, error=protocol.error_envelope(exc)
+        )
+
+    @staticmethod
+    def _finish(work, value) -> None:
+        try:
+            if not work.finished:
+                work.finish(value)
+        except ServiceError:  # lost a race against force-cancel
+            pass
+
+
+__all__ = ["ShardRouter"]

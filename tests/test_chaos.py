@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import threading
 import time
 
 import pytest
@@ -427,3 +428,195 @@ class TestShutdownPreemptsHardWork:
             assert result["size"] == 5
         assert svc.tasks.snapshot()["in_flight"] == 0
         assert svc.stopped
+
+# ----------------------------------------------------------------------
+# Sharded cluster: fault isolation under shard-level chaos
+# ----------------------------------------------------------------------
+SIZE6_SPEC = "[13,8,10,2,9,12,14,6,3,15,0,1,7,11,4,5]"
+SIZE6_SPEC_2 = "[0,1,2,3,7,14,15,13,8,9,10,11,12,4,5,6]"
+MIXED_SPECS = [IDENTITY, SHIFT, HARD_SPEC, HARD_SPEC_2, SIZE6_SPEC,
+               SIZE6_SPEC_2]
+
+
+def make_shard_cluster(handle4, count=3, faults=None, shard_extra=None,
+                       sharding_config=None):
+    """Router over in-process shards; probe loop left unstarted so every
+    state transition in these tests is driven explicitly."""
+    from repro.service.sharding import (
+        InProcessShard, ShardingConfig, ShardRouter, ShardSupervisor,
+    )
+
+    supervisor = ShardSupervisor(
+        config=sharding_config or ShardingConfig(probe_interval=30.0)
+    )
+    shards = []
+    for index in range(count):
+        shard = InProcessShard(
+            f"shard-{index}",
+            make_service(handle4, extra=shard_extra),
+        ).start()
+        shards.append(shard)
+        supervisor.add(shard)
+    router = ShardRouter(supervisor, n_wires=4, faults=faults)
+    return router, supervisor, shards
+
+
+def shard_owner(router, spec: str) -> str:
+    from repro.core.equivalence import canonical
+
+    word = Permutation.coerce(spec, 4).word
+    return router.ring.owner(canonical(word, 4))
+
+
+class TestShardKilledMidBatch:
+    def test_batch_never_loses_a_request(self, handle4):
+        """SIGKILL-equivalent crash of one shard at the exact moment its
+        batch slice is forwarded: the slice re-routes to survivors (or
+        the restarted shard), every request answers, and the incident is
+        visible in the rolled-up health."""
+        from repro.service.faults import FaultInjector, FaultPlan
+
+        probe = make_shard_cluster(handle4)[0]
+        victim = shard_owner(probe, HARD_SPEC)
+        probe.shutdown()
+
+        faults = FaultInjector(FaultPlan.from_dicts([
+            {"kind": "kill_shard", "shard": victim},
+        ]))
+        router, sup, shards = make_shard_cluster(handle4, faults=faults)
+        single = make_service(handle4)
+        try:
+            entries = [
+                {"id": i, "op": "synth" if i % 2 else "size", "spec": spec}
+                for i, spec in enumerate(MIXED_SPECS)
+            ]
+            line = json.dumps({"id": 7, "op": "batch", "requests": entries})
+            body = json.loads(router.handle_line(line))
+            assert body["ok"], body
+            results = body["result"]["results"]
+            assert len(results) == len(entries)
+            # Nothing lost, nothing poisoned: every sub-request has an
+            # envelope, and every answer is exact (the store is complete
+            # on every shard, so re-routing never needs to degrade while
+            # survivors remain).
+            expected = json.loads(single.handle_line(line))
+            assert results == expected["result"]["results"]
+            assert all(env["ok"] for env in results)
+            assert all(
+                env["result"].get("source") != "degraded" for env in results
+            )
+            # The chaos really happened and is visible in the rollup.
+            assert faults.snapshot()["fired"] == {"kill_shard": 1}
+            health = router.health()
+            rollup = {s["shard"]: s for s in health["shards"]}
+            assert rollup[victim]["restarts"] >= 1
+            assert health["restarts"] >= 1
+            assert any(
+                event["event"] == "restarted"
+                for event in rollup[victim]["events"]
+            )
+        finally:
+            single.shutdown()
+            router.shutdown()
+
+
+class TestBreakerOpenShardShedsOnlyItsSlice:
+    def test_other_slices_stay_exact(self, handle4):
+        router, sup, shards = make_shard_cluster(handle4)
+        try:
+            owners = {spec: shard_owner(router, spec) for spec in
+                      (HARD_SPEC, HARD_SPEC_2, SIZE6_SPEC, SIZE6_SPEC_2)}
+            assert len(set(owners.values())) >= 2, owners
+            shed_spec = HARD_SPEC
+            victim = owners[shed_spec]
+            other_spec = next(
+                spec for spec, owner in owners.items() if owner != victim
+            )
+            # Trip the victim's breaker (consecutive hard-path failures).
+            victim_service = next(
+                s.service for s in shards if s.shard_id == victim
+            )
+            while victim_service.breaker.allow():
+                victim_service.breaker.record_failure()
+            # Its keyspace slice sheds hard queries to tagged upper
+            # bounds...
+            shed = submit(router, "synth", spec=shed_spec)
+            assert shed["ok"], shed
+            assert shed["result"]["guarantee"] == "upper_bound"
+            assert shed["result"]["degraded_reason"] == "breaker_open"
+            # ...while its fast path and every other shard's slice stay
+            # exact: the blast radius is one shard's hard queries.
+            fast = submit(router, "size", spec=SHIFT, id=2)
+            assert fast["ok"] and fast["result"]["size"] == 4
+            exact = submit(router, "synth", spec=other_spec, id=3)
+            assert exact["ok"], exact
+            assert exact["result"]["source"] == "scan"
+            assert "guarantee" not in exact["result"]
+            # The rollup pins the incident to the one shard.
+            health = router.health()
+            assert health["status"] == "degraded"
+            breakers = {
+                s["shard"]: s["breaker"] for s in health["shards"]
+            }
+            assert breakers[victim] == "open"
+            assert all(
+                state == "closed"
+                for shard, state in breakers.items() if shard != victim
+            )
+        finally:
+            router.shutdown()
+
+
+class TestLiveDrainCompletesInFlight:
+    def test_zero_dropped_requests(self, handle4):
+        """``shard_leave`` while the leaving shard has a request in
+        flight: the request completes exactly, nothing is cancelled,
+        and the keyspace re-routes to the survivors."""
+        router, sup, shards = make_shard_cluster(
+            handle4,
+            shard_extra={
+                # Slow every shard's synth path down so the drain
+                # demonstrably overlaps the in-flight request.
+                "fault_plan": [
+                    {"kind": "delay", "delay": 0.3, "op": "synth",
+                     "times": 1},
+                ],
+            },
+        )
+        try:
+            victim = shard_owner(router, HARD_SPEC)
+            managed = sup.get(victim)
+            responses = []
+
+            def client():
+                responses.append(submit(router, "synth", spec=HARD_SPEC))
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 10.0
+            while managed.in_flight == 0 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert managed.in_flight == 1  # the drain overlaps real work
+            body = submit(router, "shard_leave", shard=victim, id=2)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            # The leave waited for the in-flight request: completed, not
+            # cancelled, not degraded.
+            assert body["ok"], body
+            assert body["result"]["drained"] is True
+            assert body["result"]["cancelled"] == 0
+            assert responses and responses[0]["ok"], responses
+            result = responses[0]["result"]
+            assert result["size"] == 5
+            assert result.get("source") != "degraded"
+            snap = router.tasks.snapshot()
+            assert snap["cancelled_by_reason"].get("shard_leave", 0) == 0
+            # The shard is out: parked in `left`, off the ring, its
+            # keyspace answered exactly by the survivors.
+            assert victim not in router.ring
+            assert not managed.routable
+            again = submit(router, "synth", spec=HARD_SPEC, id=3)
+            assert again["ok"] and again["result"]["size"] == 5
+            assert again["result"].get("source") != "degraded"
+        finally:
+            router.shutdown()
