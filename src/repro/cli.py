@@ -3,6 +3,8 @@
 Subcommands:
 
 * ``synth SPEC``      -- synthesize a circuit (``--engine`` picks which).
+* ``compile SPEC``    -- compile a Boolean function form (truth table with
+                         don't-cares, multi-output, affine/XOR, LUT).
 * ``engines``         -- list the synthesis engines and what they promise.
 * ``build-db``        -- pre-compute and cache the BFS database.
 * ``db``              -- manage on-disk stores: build/convert/info/verify/list.
@@ -132,6 +134,90 @@ def cmd_synth(args) -> int:
             comment=f"{result.engine} ({result.size} gates) for {result.spec}",
         )
         print(f".real written to {args.real}")
+    return 0
+
+
+def _read_compile_source(arg: str) -> str:
+    """The spec text for ``repro compile``: inline, ``@file``, or stdin."""
+    if arg == "-":
+        return sys.stdin.read()
+    if arg.startswith("@"):
+        with open(arg[1:], encoding="utf-8") as handle:
+            return handle.read()
+    return arg
+
+
+def _parse_compile_source(text: str):
+    """JSON object -> :func:`repro.specs.spec_from_wire`; anything else
+    is treated as ``.pla``-style cube text."""
+    import json
+
+    from repro.errors import SpecError
+    from repro.specs import parse_pla, spec_from_wire
+
+    stripped = text.strip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return spec_from_wire(payload)
+    return parse_pla(text)
+
+
+def cmd_compile(args) -> int:
+    import json
+
+    from repro.engines import create_engine
+    from repro.errors import SynthesisError
+    from repro.specs import compile_spec
+
+    spec = _parse_compile_source(_read_compile_source(args.spec))
+    engine = create_engine(
+        args.engine,
+        n_wires=args.wires,
+        k=args.k,
+        max_list_size=args.lists,
+        cache_dir=False if args.no_cache else None,
+        verbose=not args.json,
+    )
+    try:
+        result = compile_spec(spec, engine, n_wires=args.wires,
+                              samples=args.samples)
+    except SynthesisError as exc:
+        print(
+            f"compile failed: {exc}; raise -k or --lists, or try "
+            "--engine heuristic",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        # The same deterministic body the daemon would send (sans
+        # transport fields) -- scripts and the compile-smoke CI job
+        # parse this.
+        print(json.dumps(result.to_wire(), separators=(",", ":"),
+                         sort_keys=True))
+        return 0
+    plan = result.plan
+    note = "provably minimal over all completions" \
+        if result.guarantee == "optimal" else "upper bound"
+    print(f"spec kind     : {result.spec.kind}")
+    print(f"engine        : {result.engine}")
+    print(f"size          : {result.size} gates ({note})")
+    print(f"circuit       : {result.circuit}")
+    print(f"depth         : {result.depth}")
+    print(f"NCV cost      : {result.cost}")
+    print(f"input wires   : {list(plan.input_wires)}")
+    print(f"output wires  : {list(plan.output_wires)}")
+    print(f"constant wires: {[list(p) for p in plan.constant_wires]}")
+    print(f"garbage wires : {list(plan.garbage_wires)}")
+    print(
+        f"completions   : {result.completions_tried} tried "
+        f"of {plan.partial.n_completions()} "
+        f"({'exhaustive' if result.exhaustive else 'sampled'})"
+    )
+    print(f"permutation   : {result.permutation.spec()}")
+    print(f"compile time  : {result.seconds:.4f}s")
     return 0
 
 
@@ -816,6 +902,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--real", help="also write RevLib .real to this file")
     _add_synth_options(p_synth)
     p_synth.set_defaults(func=cmd_synth)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile a Boolean function form (truth table with "
+        "don't-cares, multi-output, affine/XOR, LUT) to a circuit",
+    )
+    p_compile.add_argument(
+        "spec",
+        help="spec as inline JSON ('{\"kind\": \"truth_table\", ...}') "
+        "or .pla cube text; @FILE reads a file, '-' reads stdin",
+    )
+    p_compile.add_argument(
+        "--engine",
+        default="optimal",
+        choices=engine_names(),
+        help="synthesis engine (default: optimal)",
+    )
+    p_compile.add_argument(
+        "--samples",
+        type=int,
+        default=200,
+        help="sampled-regime completion budget (default 200)",
+    )
+    p_compile.add_argument(
+        "--json",
+        action="store_true",
+        help="print the deterministic wire body instead of a report",
+    )
+    _add_synth_options(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
 
     p_engines = sub.add_parser(
         "engines", help="list the synthesis engines and their guarantees"

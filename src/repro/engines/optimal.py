@@ -54,14 +54,21 @@ class OptimalEngine(Engine):
         max_list_size: "int | None" = None,
         cache_dir: Any = None,
         verbose: bool = False,
+        handle: "SynthesisHandle | None" = None,
     ) -> None:
-        self.impl = make_optimal_synthesizer(
-            n_wires=n_wires,
-            k=k,
-            max_list_size=max_list_size,
-            cache_dir=cache_dir,
-            verbose=verbose,
-        )
+        # A warm handle (e.g. the daemon's own) rehydrates the engine
+        # without rebuilding the BFS database; the other construction
+        # parameters are then implied by the handle and ignored.
+        if handle is not None:
+            self.impl = OptimalSynthesizer.from_handle(handle)
+        else:
+            self.impl = make_optimal_synthesizer(
+                n_wires=n_wires,
+                k=k,
+                max_list_size=max_list_size,
+                cache_dir=cache_dir,
+                verbose=verbose,
+            )
         self.capabilities = EngineCapabilities(
             guarantee=GUARANTEE_OPTIMAL,
             max_wires=4,
@@ -106,6 +113,7 @@ def make_engine(
     max_list_size: "int | None" = None,
     cache_dir: Any = None,
     verbose: bool = False,
+    handle: "SynthesisHandle | None" = None,
 ) -> OptimalEngine:
     """Registry factory for the ``optimal`` engine."""
     return OptimalEngine(
@@ -114,6 +122,7 @@ def make_engine(
         max_list_size=max_list_size,
         cache_dir=cache_dir,
         verbose=verbose,
+        handle=handle,
     )
 
 

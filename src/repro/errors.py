@@ -26,6 +26,13 @@ class SynthesisError(ReproError):
     """Base class for synthesis failures."""
 
 
+class SpecError(ReproError, ValueError):
+    """Raised when a function-form spec (truth table, multi-output,
+    affine/XOR, LUT -- see :mod:`repro.specs.ir`) is malformed, or when
+    a valid spec cannot be embedded into the requested wire count.  The
+    service protocol maps it to an ``invalid_spec`` envelope."""
+
+
 class SizeLimitExceededError(SynthesisError):
     """Raised when a function provably requires more gates than the
     configured search bound ``L`` can reach.

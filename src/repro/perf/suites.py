@@ -8,8 +8,10 @@ Two tiers:
   mmap) with mapped probing, one query per search path (database
   hit / list scan / exhausted scan), the same hard query under the
   racing engine, the cancel round-trip latency of a preempted scan,
-  the shard router's pure routing decision, and an in-process sharded
-  scatter/gather batch.  A few seconds end to end at ``REPRO_BENCH_K=5``.
+  the shard router's pure routing decision, an in-process sharded
+  scatter/gather batch, and the function-form compile front-end (spec
+  normalization, and an end-to-end don't-care compile).  A few seconds
+  end to end at ``REPRO_BENCH_K=5``.
 * ``full``  -- everything in quick plus the n=4 database build at the
   configured depth, a Table-3-style random batch, a service-layer
   cached batch, and paired fast-path batch throughput ops over a real
@@ -617,6 +619,53 @@ def _setup_shard_inproc_batch(ctx: BenchContext) -> Callable[[], Any]:
     return _batch_thunk(ctx.shard_router(), _batch_line(ctx, 32), 32)
 
 
+def _dontcare_table_spec() -> Any:
+    """The pinned compile workload: f(x) = x3 on 4 inputs with two
+    don't-care rows -- exhaustive completion search (t! = 2), within
+    reach at every suite scale with k + m >= 3."""
+    from repro.specs import TruthTableSpec
+
+    rows: list = [(x >> 3) & 1 for x in range(16)]
+    rows[10] = None
+    rows[13] = None
+    return TruthTableSpec(rows=tuple(rows), n_inputs=4)
+
+
+def _setup_compile_spec_normalize(_ctx: BenchContext) -> Callable[[], Any]:
+    """Pure front-end overhead: wire round-trip + embedding plan +
+    routing word for the pinned don't-care table (no engine, no db)."""
+    from repro.specs import plan_embedding, routing_word, spec_from_wire
+
+    spec = _dontcare_table_spec()
+
+    def run() -> int:
+        decoded = spec_from_wire(spec.to_wire())
+        plan = plan_embedding(decoded)
+        word = routing_word(decoded)
+        return len(plan.garbage_wires) + (word & 1)
+
+    return run
+
+
+def _setup_compile_dontcare_embed(ctx: BenchContext) -> Callable[[], Any]:
+    """End-to-end ``compile_spec`` of the pinned don't-care table
+    against the warm optimal engine (exhaustive completion search)."""
+    from repro.specs import compile_spec
+
+    engine = ctx.optimal_engine()
+    spec = _dontcare_table_spec()
+
+    def run() -> int:
+        result = compile_spec(spec, engine)
+        if result.guarantee != "optimal":
+            raise BenchDataError(
+                f"compile degraded mid-benchmark: {result.guarantee}"
+            )
+        return result.size
+
+    return run
+
+
 def _setup_shard_cluster_batch_x4(ctx: BenchContext) -> Callable[[], Any]:
     """Fast-path batch over a real 4-process cluster: slices execute in
     four shard processes concurrently while the router waits on sockets."""
@@ -660,6 +709,8 @@ _QUICK_OPS: tuple[BenchOp, ...] = (
     BenchOp("task.cancel_latency", _setup_cancel_latency),
     BenchOp("shard.route_decision", _setup_shard_route_decision),
     BenchOp("shard.inproc_batch", _setup_shard_inproc_batch),
+    BenchOp("compile.spec_normalize", _setup_compile_spec_normalize),
+    BenchOp("compile.dontcare_embed", _setup_compile_dontcare_embed),
 )
 
 _FULL_OPS: tuple[BenchOp, ...] = _QUICK_OPS + (

@@ -44,7 +44,16 @@ from repro.service.resilience import RetryPolicy
 #: idempotent work ops; ``shards`` is a read-only rollup.  Membership
 #: ops (``shard_join``/``shard_leave``) and ``shutdown`` are not here:
 #: re-sending them is not provably safe.
-SAFE_RETRY_OPS = ("synth", "size", "ping", "stats", "health", "batch", "shards")
+SAFE_RETRY_OPS = (
+    "synth",
+    "size",
+    "compile",
+    "ping",
+    "stats",
+    "health",
+    "batch",
+    "shards",
+)
 
 
 class ServiceClient:
@@ -262,6 +271,34 @@ class ServiceClient:
             )["size"]
         )
 
+    def compile(
+        self,
+        spec,
+        wires: "int | None" = None,
+        engine: "str | None" = None,
+        deadline_ms: "int | None" = None,
+        samples: "int | None" = None,
+    ) -> dict:
+        """Compile a Boolean function form to a circuit.
+
+        ``spec`` is either a :mod:`repro.specs` form (anything with a
+        ``to_wire`` method) or its wire dict (``{"kind": ..., ...}``).
+        The result carries the circuit, the ``guarantee``
+        (``optimal``/``upper_bound``), and the ``embedding`` map in the
+        caller's terms -- see ``docs/COMPILE.md``.  ``samples`` bounds
+        the sampled completion search; idempotent, hence retry-safe.
+        """
+        if hasattr(spec, "to_wire"):
+            spec = spec.to_wire()
+        return self.request(
+            "compile",
+            spec=spec,
+            wires=wires,
+            engine=engine,
+            deadline_ms=deadline_ms,
+            samples=samples,
+        )
+
     def stats(self) -> dict:
         return self.request("stats")
 
@@ -276,7 +313,8 @@ class ServiceClient:
     def batch(
         self, requests, deadline_ms: "int | None" = None
     ) -> "list[dict]":
-        """Submit many ``synth``/``size`` sub-requests in one round trip.
+        """Submit many ``synth``/``size``/``compile`` sub-requests in
+        one round trip.
 
         ``requests`` is a list of request dicts (each needs at least
         ``op`` plus a spec field).  Returns the per-request envelopes in

@@ -64,6 +64,7 @@ from repro.errors import (
     ServiceShutdownError,
     SizeLimitExceededError,
     SynthesisError,
+    WorkCancelledError,
 )
 from repro.perf.trace import enable as _perf_enable
 from repro.perf.trace import get_tracer as _perf_get_tracer
@@ -321,6 +322,8 @@ class SynthesisService:
             )
         if request.op == "batch":
             return self._batch_submit(request)
+        if request.op == "compile":
+            return self._compile_submit(request, deadline)
         if request.op in ("shards", "shard_join", "shard_leave"):
             return self._error_response(
                 request.id,
@@ -388,6 +391,126 @@ class SynthesisService:
             request.id,
             result={"count": len(envelopes), "results": envelopes},
         )
+
+    # ------------------------------------------------------------------
+    # Function-form compilation
+    # ------------------------------------------------------------------
+    def _compile_submit(
+        self,
+        request: "protocol.Request",
+        deadline: "Deadline | None" = None,
+    ) -> str:
+        """Answer a ``compile`` op: spec form in, circuit + embedding out.
+
+        Runs on the connection thread under the chosen engine's lock (the
+        completion search is one logical engine call).  The whole search
+        is one cancellable :class:`~repro.service.tasks.WorkItem` whose
+        token carries the request deadline: expiry, breaker trips, and
+        shutdown preempt it at the next completion boundary, after which
+        the request degrades to a fallback-engine compile instead of an
+        error.  Compile answers are never cached: the result is keyed by
+        the *spec* (not a permutation class), and the embedding payload
+        already makes re-compilation cheap to reason about.
+        """
+        if self.stopping:
+            return self._error_response(
+                request.id, ServiceShutdownError("service is draining")
+            )
+        from repro.specs import compile_spec, spec_from_wire
+
+        n = self.handle.n_wires
+        if request.wires is not None and request.wires != n:
+            return self._error_response(
+                request.id,
+                ProtocolError(
+                    f"this daemon serves n_wires={n}, "
+                    f"got wires={request.wires}",
+                    kind="invalid_spec",
+                ),
+            )
+        try:
+            spec = spec_from_wire(request.spec)
+        except ReproError as exc:
+            return self._error_response(request.id, exc)
+        engine_name = request.engine or DEFAULT_ENGINE
+        try:
+            engine = self._get_engine(engine_name)
+        except SynthesisError as exc:
+            return self._error_response(
+                request.id, ProtocolError(str(exc), kind="protocol")
+            )
+        samples = request.options.get("samples")
+        if samples is not None and (
+            isinstance(samples, bool)
+            or not isinstance(samples, int)
+            or samples < 1
+        ):
+            return self._error_response(
+                request.id,
+                ProtocolError(
+                    f"samples must be a positive integer, got {samples!r}"
+                ),
+            )
+        work = self.tasks.create(
+            "compile", payload=spec.kind, deadline=deadline
+        )
+        work.start()
+        started = time.perf_counter()
+        try:
+            with self._engine_locks[engine_name], trace_span(
+                "service.compile", engine=engine_name, kind=spec.kind
+            ):
+                kwargs: dict = {"n_wires": n, "cancel": work.token.checkpoint}
+                if samples is not None:
+                    kwargs["samples"] = samples
+                result = compile_spec(spec, engine, **kwargs)
+        except WorkCancelledError as exc:
+            work.mark_cancelled()
+            if exc.reason == "deadline":
+                self.metrics.counter("deadline_misses").inc()
+                self.breaker.record_deadline_miss()
+            return self._compile_degraded(request, spec, exc.reason)
+        except Exception as exc:
+            work.degrade(exc)
+            return self._error_response(request.id, exc)
+        work.finish(result.size)
+        self.metrics.histogram("compile_seconds").observe(
+            time.perf_counter() - started
+        )
+        self.metrics.counter("responses_ok").inc()
+        body = result.to_wire()
+        body["source"] = "engine"
+        return protocol.encode_response(request.id, result=body)
+
+    def _compile_degraded(
+        self, request: "protocol.Request", spec, reason: str
+    ) -> str:
+        """Answer a preempted compile from the fallback engine.
+
+        The fallback compile takes the generic candidate path (a handful
+        of heuristic synthesis calls, no database scan), so it is cheap
+        enough to run inline even when the optimal search just blew its
+        deadline.  The answer is correct on every specified row but only
+        an upper bound, and -- like every degraded answer -- never cached.
+        """
+        from repro.specs import compile_spec
+
+        name = self.resilience.fallback_engine
+        try:
+            engine = self._get_engine(name)
+            with self._engine_locks[name]:
+                result = compile_spec(spec, engine, n_wires=self.handle.n_wires)
+        except Exception as exc:  # pragma: no cover - fallback engine broke
+            return self._error_response(request.id, exc)
+        self.metrics.counter("responses_ok").inc()
+        self.metrics.counter("responses_degraded").inc()
+        self.metrics.counter(f"degraded_{reason}").inc()
+        body = result.to_wire()
+        body["source"] = "degraded"
+        body["guarantee"] = GUARANTEE_UPPER_BOUND
+        body["degraded_reason"] = reason
+        body["tier"] = name
+        return protocol.encode_response(request.id, result=body)
 
     # ------------------------------------------------------------------
     # Non-default engines

@@ -13,12 +13,17 @@ Request::
 * ``synth``     -- circuit for ``spec`` (string spec, value list, or hex
                    packed word in ``word``).
 * ``size``      -- gate count only (no circuit in the response).
+* ``compile``   -- compile a Boolean function form (``spec`` is a JSON
+                   object with a ``kind`` from
+                   :data:`repro.specs.SPEC_KINDS`) to a circuit,
+                   embedding map included -- see ``docs/COMPILE.md``.
 * ``stats``     -- metrics snapshot and service configuration.
 * ``health``    -- resilience status: circuit breaker, pool liveness,
                    cache persistence state.
 * ``ping``      -- liveness check.
 * ``shutdown``  -- ask the daemon to drain pending requests and exit.
-* ``batch``     -- a list of ``synth``/``size`` sub-requests under
+* ``batch``     -- a list of ``synth``/``size``/``compile``
+                   sub-requests under
                    ``requests``; the result is ``{"results": [...]}``
                    holding one complete response envelope per
                    sub-request, in order.  A plain daemon answers them
@@ -29,14 +34,15 @@ Request::
 * ``shard_leave``  -- drain a shard and remove it (router only;
                       ``shard`` names which one).
 
-``synth``/``size`` requests may carry an ``engine`` field naming which
+``synth``/``size``/``compile`` requests may carry an ``engine`` field
+naming which
 synthesis engine answers (see :mod:`repro.engines`); omitted or
 ``"optimal"`` routes through the daemon's batched optimal pipeline,
 other servable engines (``heuristic``, ``depth``, ``linear``) are
 served with their own cache keyspace and metrics.  Unknown or
 non-servable engine names get a ``protocol`` error envelope.
 
-``synth``/``size`` requests may also carry ``deadline_ms``, a positive
+Work requests may also carry ``deadline_ms``, a positive
 integer budget in milliseconds starting when the daemon accepts the
 request (queue time counts).  A request whose hard ``A_i``-scan cannot
 fit the remaining budget is answered from the fallback engine with
@@ -76,6 +82,7 @@ from repro.errors import (
 OPS = (
     "synth",
     "size",
+    "compile",
     "stats",
     "health",
     "ping",
@@ -87,7 +94,7 @@ OPS = (
 )
 
 #: Ops that carry synthesis work (batchable, routable by canonical rep).
-WORK_OPS = ("synth", "size")
+WORK_OPS = ("synth", "size", "compile")
 
 #: Maximum accepted line length (guards the reader against garbage input).
 MAX_LINE_BYTES = 1 << 20
@@ -162,6 +169,11 @@ def decode_payload(payload) -> Request:
             raise ProtocolError(f"word is not valid hex: {word!r}") from exc
     if op in ("synth", "size") and payload.get("spec") is None and word is None:
         raise ProtocolError(f"op {op!r} requires a 'spec' or 'word' field")
+    if op == "compile" and not isinstance(payload.get("spec"), dict):
+        raise ProtocolError(
+            "op 'compile' requires 'spec' to be a JSON object with a "
+            "'kind' field (see repro.specs)"
+        )
     engine = payload.get("engine")
     if engine is not None and not isinstance(engine, str):
         raise ProtocolError(f"engine must be a string, got {engine!r}")

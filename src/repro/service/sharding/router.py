@@ -8,7 +8,11 @@ sharded cluster completely unchanged.
 
 Routing: each ``synth``/``size`` request is keyed by the canonical
 representative of its spec (one equivalence class, one owner, one
-result-cache partition) and forwarded to the rendezvous owner.  If the
+result-cache partition) and forwarded to the rendezvous owner.
+``compile`` requests route the same way, keyed by the canonical
+representative of the spec's deterministic base completion
+(:func:`repro.specs.routing_word`) -- a pure function of the spec, so
+router and shard agree on the owner before any search runs.  If the
 owner is unreachable the router walks the preference list -- every
 shard maps the complete ``.rdb`` store, so the re-routed answer is
 *exact*.  Only when no live shard remains (or the deadline is burned)
@@ -52,6 +56,7 @@ from repro.service.sharding.config import ShardingConfig
 from repro.service.sharding.shard import LEFT, UP
 from repro.service.sharding.supervisor import ShardSupervisor
 from repro.service.tasks import TaskRegistry
+from repro.specs import compile_spec, routing_word, spec_from_wire
 
 
 class ShardRouter:
@@ -194,7 +199,7 @@ class ShardRouter:
             return self._shard_join(request)
         if request.op == "shard_leave":
             return self._shard_leave(request)
-        # synth / size / batch: synthesis work.
+        # synth / size / compile / batch: synthesis work.
         if self.stopping:
             return self._error_response(
                 request.id, ServiceShutdownError("router is draining")
@@ -211,7 +216,7 @@ class ShardRouter:
                 ),
             )
         try:
-            perm = Permutation.coerce(request.spec_value(), self.n_wires)
+            perm = self._routing_perm(request)
         except ReproError as exc:
             return self._error_response(request.id, exc)
         except (TypeError, ValueError) as exc:
@@ -220,6 +225,22 @@ class ShardRouter:
                 ProtocolError(f"unparseable spec: {exc}", kind="invalid_spec"),
             )
         return self._route_work(request, perm, deadline)
+
+    def _routing_perm(self, request: "protocol.Request") -> Permutation:
+        """The permutation a work request routes by.
+
+        ``synth``/``size`` carry one directly; a ``compile`` spec has
+        not been completed yet, so its routing key is the deterministic
+        base completion -- the forwarded shard recomputes the same plan
+        from the same spec, so the key only needs to be stable, not the
+        eventual winner.
+        """
+        if request.op == "compile":
+            return Permutation(
+                routing_word(spec_from_wire(request.spec), self.n_wires),
+                self.n_wires,
+            )
+        return Permutation.coerce(request.spec_value(), self.n_wires)
 
     # ------------------------------------------------------------------
     # Single-request routing
@@ -368,7 +389,7 @@ class ShardRouter:
                         f"got wires={sub.wires}",
                         kind="invalid_spec",
                     )
-                perm = Permutation.coerce(sub.spec_value(), self.n_wires)
+                perm = self._routing_perm(sub)
             except ReproError as exc:
                 slots[index] = self._error_envelope_for(entry, exc)
                 continue
@@ -645,6 +666,8 @@ class ShardRouter:
     def _degraded_response(
         self, request: "protocol.Request", perm: Permutation, reason: str
     ) -> str:
+        if request.op == "compile":
+            return self._degraded_compile(request, reason)
         try:
             engine = self._fallback_engine()
             with self._fallback_lock:
@@ -669,6 +692,28 @@ class ShardRouter:
             body["circuit"] = result.circuit
             body["depth"] = result.depth
             body["cost"] = result.cost
+        return protocol.encode_response(request.id, result=body)
+
+    def _degraded_compile(
+        self, request: "protocol.Request", reason: str
+    ) -> str:
+        """No shard could compile: run the generic compile path against
+        the in-process fallback engine (no database needed)."""
+        try:
+            spec = spec_from_wire(request.spec)
+            engine = self._fallback_engine()
+            with self._fallback_lock:
+                result = compile_spec(spec, engine, n_wires=self.n_wires)
+        except Exception as exc:  # pragma: no cover - fallback broke
+            return self._error_response(request.id, exc)
+        self.metrics.counter("responses_ok").inc()
+        self.metrics.counter("responses_degraded").inc()
+        self.metrics.counter(f"degraded_{reason}").inc()
+        body = result.to_wire()
+        body["source"] = "degraded"
+        body["guarantee"] = GUARANTEE_UPPER_BOUND
+        body["degraded_reason"] = reason
+        body["tier"] = self._fallback_name
         return protocol.encode_response(request.id, result=body)
 
     # ------------------------------------------------------------------

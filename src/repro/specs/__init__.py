@@ -1,0 +1,51 @@
+"""repro.specs -- compile Boolean function forms to optimal circuits.
+
+The function-form front-end: callers hold truth tables with don't-cares
+(:class:`TruthTableSpec`), multi-output functions
+(:class:`MultiOutputSpec`), affine/XOR forms (:class:`AffineXorForm`),
+and lookup tables (:class:`LookupTableSpec`) -- not ready-made 4-bit
+permutations.  :func:`compile_spec` normalizes any of them, chooses an
+embedding into a reversible permutation (:func:`plan_embedding`),
+searches the don't-care completions, synthesizes through any
+:mod:`repro.engines` engine, and reports cost, guarantee, and the
+embedding map back in the caller's terms::
+
+    from repro.engines import create_engine
+    from repro.specs import TruthTableSpec, compile_spec
+
+    spec = TruthTableSpec(rows=(0, 0, 0, 1), n_inputs=2)  # AND
+    result = compile_spec(spec, create_engine("optimal", k=5).prepare())
+    print(result.size, result.circuit, result.guarantee)
+
+The same pipeline serves the daemon's ``compile`` protocol op and the
+``repro compile`` CLI subcommand -- see ``docs/COMPILE.md``.
+"""
+
+from repro.specs.compile import CompileResult, compile_spec
+from repro.specs.embed import EmbeddingPlan, plan_embedding, routing_word
+from repro.specs.ir import (
+    SPEC_KINDS,
+    AffineXorForm,
+    LookupTableSpec,
+    MultiOutputSpec,
+    SpecForm,
+    TruthTableSpec,
+    spec_from_wire,
+)
+from repro.specs.pla import parse_pla
+
+__all__ = [
+    "SPEC_KINDS",
+    "AffineXorForm",
+    "CompileResult",
+    "EmbeddingPlan",
+    "LookupTableSpec",
+    "MultiOutputSpec",
+    "SpecForm",
+    "TruthTableSpec",
+    "compile_spec",
+    "parse_pla",
+    "plan_embedding",
+    "routing_word",
+    "spec_from_wire",
+]

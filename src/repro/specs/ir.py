@@ -1,0 +1,349 @@
+"""The function-form spec IR: what callers actually hold.
+
+The paper's machinery answers "given a 4-bit *permutation*, what is its
+optimal circuit?" -- but real callers hold truth tables with don't-care
+rows, multi-output Boolean functions, affine/XOR forms over GF(2), and
+lookup tables.  This module gives each of those a frozen, validated,
+wire-serializable dataclass; :mod:`repro.specs.embed` turns any of them
+into a reversible-permutation embedding and :mod:`repro.specs.compile`
+routes the result through the engine layer.
+
+Every form implements the same small surface:
+
+* ``kind`` -- the wire discriminator (``"truth_table"``, ...).
+* ``to_multi_output()`` -- normalization to the common denominator, a
+  :class:`MultiOutputSpec` (rows of output words, ``None`` = don't-care).
+* ``to_wire()`` -- a deterministic JSON-ready dict; the inverse is
+  :func:`spec_from_wire`, and the round trip is exact.
+
+Validation happens at construction (``__post_init__``), so a spec that
+exists is a spec that makes sense; malformed wire payloads surface as
+:class:`repro.errors.SpecError` -- mapped to an ``invalid_spec``
+envelope by the service protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+
+#: Wire discriminators of the concrete forms, in registration order.
+SPEC_KINDS = ("truth_table", "multi_output", "affine_xor", "lookup_table")
+
+
+def _check_n(name: str, value: int, upper: int = 4) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SpecError(f"{name} must be an integer, got {value!r}")
+    if not 1 <= value <= upper:
+        raise SpecError(f"{name} must be in 1..{upper}, got {value}")
+
+
+def _check_rows(rows, n_rows: int, limit: int, what: str) -> None:
+    if len(rows) != n_rows:
+        raise SpecError(f"{what} needs {n_rows} rows, got {len(rows)}")
+    for row, value in enumerate(rows):
+        if value is None:
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SpecError(
+                f"{what} row {row} must be an integer or None, got {value!r}"
+            )
+        if not 0 <= value < limit:
+            raise SpecError(
+                f"{what} row {row} value {value} out of range 0..{limit - 1}"
+            )
+
+
+@dataclass(frozen=True)
+class MultiOutputSpec:
+    """An ``n_inputs``-variable, ``n_outputs``-bit Boolean function.
+
+    Attributes:
+        rows: Length-``2 ** n_inputs`` tuple; entry ``x`` is the output
+            word (an int below ``2 ** n_outputs``) for input ``x``, or
+            ``None`` for a don't-care row.
+        n_inputs: Number of input variables (1..4).
+        n_outputs: Number of output bits (1..4).
+    """
+
+    rows: tuple
+    n_inputs: int
+    n_outputs: int
+
+    kind = "multi_output"
+
+    def __post_init__(self):
+        _check_n("n_inputs", self.n_inputs)
+        _check_n("n_outputs", self.n_outputs)
+        object.__setattr__(self, "rows", tuple(self.rows))
+        _check_rows(
+            self.rows, 1 << self.n_inputs, 1 << self.n_outputs,
+            "multi-output spec",
+        )
+        if all(v is None for v in self.rows):
+            raise SpecError("spec has no specified rows at all")
+
+    def to_multi_output(self) -> "MultiOutputSpec":
+        return self
+
+    def specified_rows(self) -> "list[tuple[int, int]]":
+        """``(input, output)`` pairs for every non-don't-care row."""
+        return [(x, v) for x, v in enumerate(self.rows) if v is not None]
+
+    def dont_care_count(self) -> int:
+        return sum(1 for v in self.rows if v is None)
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.kind,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "rows": list(self.rows),
+        }
+
+
+@dataclass(frozen=True)
+class TruthTableSpec:
+    """A single-output truth table with per-row don't-cares.
+
+    Attributes:
+        rows: Length-``2 ** n_inputs`` tuple of ``0``/``1``/``None``.
+        n_inputs: Number of input variables (1..4).
+    """
+
+    rows: tuple
+    n_inputs: int
+
+    kind = "truth_table"
+
+    def __post_init__(self):
+        _check_n("n_inputs", self.n_inputs)
+        object.__setattr__(self, "rows", tuple(self.rows))
+        _check_rows(self.rows, 1 << self.n_inputs, 2, "truth table")
+        if all(v is None for v in self.rows):
+            raise SpecError("spec has no specified rows at all")
+
+    def to_multi_output(self) -> MultiOutputSpec:
+        return MultiOutputSpec(
+            rows=self.rows, n_inputs=self.n_inputs, n_outputs=1
+        )
+
+    def dont_care_count(self) -> int:
+        return sum(1 for v in self.rows if v is None)
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.kind,
+            "n_inputs": self.n_inputs,
+            "rows": list(self.rows),
+        }
+
+
+@dataclass(frozen=True)
+class AffineXorForm:
+    """An affine form over GF(2): ``y = A x XOR b``.
+
+    Attributes:
+        matrix: ``n_outputs`` rows of ``n_inputs`` entries, each 0/1;
+            row ``j`` gives which inputs feed output bit ``j`` (bit 0 is
+            the least significant input/output bit).
+        constant: Length-``n_outputs`` tuple of 0/1 offsets.
+
+    A *square invertible* matrix is itself a reversible linear map, so
+    the embedding needs no ancilla and has zero don't-cares -- these
+    compile with ``guarantee: optimal`` immediately.  Singular or
+    rectangular forms normalize to a :class:`MultiOutputSpec` by
+    evaluation and go through the don't-care embedding like any other
+    irreversible function.
+    """
+
+    matrix: tuple
+    constant: tuple
+
+    kind = "affine_xor"
+
+    def __post_init__(self):
+        matrix = tuple(tuple(row) for row in self.matrix)
+        constant = tuple(self.constant)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "constant", constant)
+        if not matrix:
+            raise SpecError("affine form needs at least one matrix row")
+        widths = {len(row) for row in matrix}
+        if len(widths) != 1:
+            raise SpecError("affine matrix rows have inconsistent widths")
+        _check_n("affine n_outputs", len(matrix))
+        _check_n("affine n_inputs", next(iter(widths)))
+        if len(constant) != len(matrix):
+            raise SpecError(
+                f"affine constant needs {len(matrix)} entries, "
+                f"got {len(constant)}"
+            )
+        for what, bits in (("matrix", sum(matrix, ())), ("constant", constant)):
+            for bit in bits:
+                if bit not in (0, 1):
+                    raise SpecError(
+                        f"affine {what} entries must be 0/1, got {bit!r}"
+                    )
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.matrix[0])
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.matrix)
+
+    def evaluate(self, x: int) -> int:
+        """The output word ``A x XOR b`` for the input word ``x``."""
+        word = 0
+        for j, row in enumerate(self.matrix):
+            acc = self.constant[j]
+            for i, coeff in enumerate(row):
+                acc ^= coeff & (x >> i)
+            word |= (acc & 1) << j
+        return word
+
+    def is_invertible(self) -> bool:
+        """GF(2) invertibility of the (square) matrix; False when
+        rectangular."""
+        if self.n_inputs != self.n_outputs:
+            return False
+        # Gaussian elimination on rows packed as ints.
+        rows = [
+            sum(bit << i for i, bit in enumerate(row)) for row in self.matrix
+        ]
+        rank = 0
+        for col in range(self.n_inputs):
+            pivot = next(
+                (r for r in range(rank, len(rows)) if rows[r] >> col & 1),
+                None,
+            )
+            if pivot is None:
+                return False
+            rows[rank], rows[pivot] = rows[pivot], rows[rank]
+            for r in range(len(rows)):
+                if r != rank and rows[r] >> col & 1:
+                    rows[r] ^= rows[rank]
+            rank += 1
+        return True
+
+    def to_multi_output(self) -> MultiOutputSpec:
+        return MultiOutputSpec(
+            rows=tuple(
+                self.evaluate(x) for x in range(1 << self.n_inputs)
+            ),
+            n_inputs=self.n_inputs,
+            n_outputs=self.n_outputs,
+        )
+
+    def dont_care_count(self) -> int:
+        return 0
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.kind,
+            "matrix": [list(row) for row in self.matrix],
+            "constant": list(self.constant),
+        }
+
+
+@dataclass(frozen=True)
+class LookupTableSpec:
+    """A fully-specified LUT: entry ``x`` is the output word for ``x``.
+
+    The caller-facing shape of a k-LUT (as in FPGA tooling); it differs
+    from :class:`MultiOutputSpec` only in refusing don't-cares, which
+    makes it the natural target for "compile exactly this table".
+    """
+
+    table: tuple
+    n_inputs: int
+    n_outputs: int
+
+    kind = "lookup_table"
+
+    def __post_init__(self):
+        _check_n("n_inputs", self.n_inputs)
+        _check_n("n_outputs", self.n_outputs)
+        object.__setattr__(self, "table", tuple(self.table))
+        _check_rows(
+            self.table, 1 << self.n_inputs, 1 << self.n_outputs,
+            "lookup table",
+        )
+        if any(v is None for v in self.table):
+            raise SpecError(
+                "lookup tables are fully specified; use a truth-table or "
+                "multi-output spec for don't-cares"
+            )
+
+    def to_multi_output(self) -> MultiOutputSpec:
+        return MultiOutputSpec(
+            rows=self.table, n_inputs=self.n_inputs, n_outputs=self.n_outputs
+        )
+
+    def dont_care_count(self) -> int:
+        return 0
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.kind,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "table": list(self.table),
+        }
+
+
+#: Any concrete spec form (for isinstance checks and type hints).
+SpecForm = (TruthTableSpec, MultiOutputSpec, AffineXorForm, LookupTableSpec)
+
+
+def spec_from_wire(payload) -> "TruthTableSpec | MultiOutputSpec | AffineXorForm | LookupTableSpec":
+    """Decode a wire dict (the inverse of each form's ``to_wire``)."""
+    if not isinstance(payload, dict):
+        raise SpecError("spec payload must be a JSON object")
+    kind = payload.get("kind")
+    try:
+        if kind == "truth_table":
+            return TruthTableSpec(
+                rows=tuple(payload["rows"]),
+                n_inputs=payload["n_inputs"],
+            )
+        if kind == "multi_output":
+            return MultiOutputSpec(
+                rows=tuple(payload["rows"]),
+                n_inputs=payload["n_inputs"],
+                n_outputs=payload["n_outputs"],
+            )
+        if kind == "affine_xor":
+            return AffineXorForm(
+                matrix=tuple(tuple(row) for row in payload["matrix"]),
+                constant=tuple(payload["constant"]),
+            )
+        if kind == "lookup_table":
+            return LookupTableSpec(
+                table=tuple(payload["table"]),
+                n_inputs=payload["n_inputs"],
+                n_outputs=payload["n_outputs"],
+            )
+    except KeyError as exc:
+        raise SpecError(
+            f"spec kind {kind!r} is missing required field {exc}"
+        ) from exc
+    except TypeError as exc:
+        raise SpecError(f"malformed {kind!r} spec payload: {exc}") from exc
+    raise SpecError(
+        f"unknown spec kind {kind!r}; expected one of {', '.join(SPEC_KINDS)}"
+    )
+
+
+__all__ = [
+    "SPEC_KINDS",
+    "AffineXorForm",
+    "LookupTableSpec",
+    "MultiOutputSpec",
+    "SpecForm",
+    "TruthTableSpec",
+    "spec_from_wire",
+]

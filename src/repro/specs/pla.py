@@ -1,0 +1,139 @@
+"""Parse ``.pla``-style truth-table text into spec forms.
+
+The subset understood is the cube-list core of Berkeley PLA format::
+
+    .i 2
+    .o 1
+    00 0
+    01 0
+    10 0
+    11 1
+    .e
+
+* ``.i N`` / ``.o M`` declare input/output counts (required, first).
+* Each cube line is ``<inputs> <outputs>`` with bits *most significant
+  first* (the usual PLA convention).  ``-`` in the input part expands
+  the cube over both values of that variable; ``-`` anywhere in the
+  output part marks the row a don't-care (the row-level granularity of
+  :class:`repro.specs.ir.MultiOutputSpec`).
+* Input rows never mentioned by any cube are don't-cares.
+* ``#`` starts a comment; ``.e``/``.end`` ends the table; other dot
+  directives (``.type``, ``.p``, ...) are ignored.
+
+Conflicting cubes (two cubes assigning different outputs to one row)
+are an error -- silent last-writer-wins would hide real spec bugs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+
+from repro.specs.ir import MultiOutputSpec, TruthTableSpec
+
+
+def parse_pla(text: str) -> "TruthTableSpec | MultiOutputSpec":
+    """Parse PLA text; single-output tables come back as
+    :class:`TruthTableSpec`, wider ones as :class:`MultiOutputSpec`."""
+    n_inputs = None
+    n_outputs = None
+    rows: "list[int | None] | None" = None
+    assigned: "set[int]" = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, *args = line.split()
+            if directive in (".e", ".end"):
+                break
+            if directive == ".i":
+                n_inputs = _directive_int(directive, args, lineno)
+            elif directive == ".o":
+                n_outputs = _directive_int(directive, args, lineno)
+            # Other dot directives carry no truth-table content.
+            continue
+        if n_inputs is None or n_outputs is None:
+            raise SpecError(
+                f"line {lineno}: cube before .i/.o declarations"
+            )
+        if rows is None:
+            rows = [None] * (1 << n_inputs)
+        _apply_cube(line, n_inputs, n_outputs, rows, assigned, lineno)
+    if n_inputs is None or n_outputs is None:
+        raise SpecError("PLA text is missing .i/.o declarations")
+    if rows is None or not assigned:
+        raise SpecError("PLA text specifies no rows")
+    if n_outputs == 1:
+        return TruthTableSpec(rows=tuple(rows), n_inputs=n_inputs)
+    return MultiOutputSpec(
+        rows=tuple(rows), n_inputs=n_inputs, n_outputs=n_outputs
+    )
+
+
+def _directive_int(directive: str, args: "list[str]", lineno: int) -> int:
+    if len(args) != 1 or not args[0].isdigit():
+        raise SpecError(
+            f"line {lineno}: {directive} needs one integer argument"
+        )
+    return int(args[0])
+
+
+def _apply_cube(
+    line: str,
+    n_inputs: int,
+    n_outputs: int,
+    rows: "list[int | None]",
+    assigned: "set[int]",
+    lineno: int,
+) -> None:
+    parts = line.split()
+    if len(parts) != 2:
+        raise SpecError(
+            f"line {lineno}: cube must be '<inputs> <outputs>', got {line!r}"
+        )
+    in_part, out_part = parts
+    if len(in_part) != n_inputs:
+        raise SpecError(
+            f"line {lineno}: input part has {len(in_part)} bits, "
+            f"expected {n_inputs}"
+        )
+    if len(out_part) != n_outputs:
+        raise SpecError(
+            f"line {lineno}: output part has {len(out_part)} bits, "
+            f"expected {n_outputs}"
+        )
+    if any(c not in "01-" for c in in_part + out_part):
+        raise SpecError(
+            f"line {lineno}: cube characters must be 0, 1 or -, got {line!r}"
+        )
+    # Output bits are most significant first; '-' anywhere makes the
+    # whole row a don't-care at this IR's row granularity.
+    if "-" in out_part:
+        value = None
+    else:
+        value = int(out_part, 2)
+    for assignment in _expand_inputs(in_part):
+        if assignment in assigned and rows[assignment] != value:
+            raise SpecError(
+                f"line {lineno}: row {assignment} already assigned "
+                f"{rows[assignment]!r}, cube gives {value!r}"
+            )
+        rows[assignment] = value
+        assigned.add(assignment)
+
+
+def _expand_inputs(in_part: str):
+    """All row indices a cube covers.  Bit order: leftmost character is
+    the most significant input variable."""
+    free = [i for i, c in enumerate(in_part) if c == "-"]
+    base = int(in_part.replace("-", "0"), 2)
+    width = len(in_part)
+    for mask in range(1 << len(free)):
+        value = base
+        for j, pos in enumerate(free):
+            if mask >> j & 1:
+                value |= 1 << (width - 1 - pos)
+        yield value
+
+
+__all__ = ["parse_pla"]

@@ -12,8 +12,10 @@ Two regimes:
 * **Exhaustive** -- with ``t`` unspecified rows there are ``t!``
   completions; for ``t! <= exhaustive_limit`` all of them are sized and
   a provably minimal-over-completions circuit is returned.
-* **Sampled** -- beyond that, random completions are drawn (seeded,
-  reproducible) and the best found is returned, flagged as a bound.
+* **Sampled** -- beyond that, *distinct* random completions are drawn
+  (seeded, reproducible, without replacement) and the best found is
+  returned, flagged as a bound.  When the draw nevertheless covers all
+  ``t!`` completions the answer is exact and reported as such.
 """
 
 from __future__ import annotations
@@ -115,6 +117,7 @@ def synthesize_partial(
     samples: int = 200,
     seed: int = 5489,
     extra_candidates: "list[Permutation] | None" = None,
+    cancel=None,
 ) -> EmbeddingResult:
     """Minimal circuit over all completions of a partial specification.
 
@@ -128,6 +131,10 @@ def synthesize_partial(
     completions (e.g. the natural reversible extension of a Boolean
     function) that uniform sampling of a huge ``t!`` space would miss;
     candidates inconsistent with the spec are rejected.
+
+    ``cancel`` is an optional cooperative checkpoint (e.g. a
+    :meth:`repro.service.tasks.CancelToken.checkpoint` bound method)
+    called between candidate evaluations; it may raise to abort.
     """
     best_perm = None
     best_size = None
@@ -136,7 +143,7 @@ def synthesize_partial(
     if exhaustive:
         candidates = list(spec.completions())
     else:
-        candidates = list(_sampled_completions(spec, samples, seed))
+        candidates, exhaustive = _sampled_completions(spec, samples, seed)
     for candidate in extra_candidates or []:
         if not spec.matches(candidate):
             raise SynthesisError(
@@ -150,6 +157,8 @@ def synthesize_partial(
     database = getattr(synthesizer, "database", None)
     deferred = []
     for perm in candidates:
+        if cancel is not None:
+            cancel()
         tried += 1
         size = database.size_of(perm.word) if database is not None else None
         if size is None:
@@ -163,6 +172,8 @@ def synthesize_partial(
     # meet-in-the-middle queries on a bounded number of completions.
     if best_perm is None:
         for perm in deferred[: max(1, samples // 10)]:
+            if cancel is not None:
+                cancel()
             size, exact = synthesizer.size_or_bound(perm)
             if not exact:
                 continue
@@ -185,13 +196,38 @@ def synthesize_partial(
     )
 
 
-def _sampled_completions(spec: PartialSpec, samples: int, seed: int):
+def _sampled_completions(
+    spec: PartialSpec, samples: int, seed: int
+) -> "tuple[list[Permutation], bool]":
+    """Up to ``samples`` *distinct* random completions of ``spec``.
+
+    Returns ``(completions, exhausted)``.  Shuffles draw permutations
+    of the free outputs with replacement, so duplicates are discarded
+    rather than spent against the budget; when the whole ``t!`` space
+    fits inside ``samples`` the completions are enumerated directly and
+    ``exhausted`` is True -- the caller's answer is then exact, not a
+    bound.  Redraws are bounded, so a pathological duplicate streak
+    degrades to fewer samples instead of an unbounded loop.
+    """
+    total = spec.n_completions()
+    if total <= samples:
+        return list(spec.completions()), True
     rng = MersenneTwister(seed)
     free_outputs = spec.free_outputs
-    for _ in range(samples):
+    seen: set = set()
+    out: "list[Permutation]" = []
+    attempts = 0
+    max_attempts = 8 * samples
+    while len(out) < samples and attempts < max_attempts:
+        attempts += 1
         assignment = list(free_outputs)
         rng.shuffle(assignment)
-        yield spec.complete(assignment)
+        key = tuple(assignment)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(spec.complete(assignment))
+    return out, False
 
 
 def natural_reversible_extension(
